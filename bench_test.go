@@ -1,0 +1,368 @@
+// Benchmarks for the reproduction experiment suite (E1–E10, see DESIGN.md
+// §4 and EXPERIMENTS.md) plus micro-benchmarks of the framework kernels.
+// Each experiment benchmark exercises the same code path as the
+// corresponding cmd/dsebench table.
+package dse_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/adversary"
+	"repro/internal/bounded"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/insight"
+	"repro/internal/measure"
+	"repro/internal/pca"
+	"repro/internal/protocols/channel"
+	"repro/internal/protocols/coin"
+	"repro/internal/protocols/coinflip"
+	"repro/internal/protocols/commitment"
+	"repro/internal/protocols/dynchannel"
+	"repro/internal/protocols/ledger"
+	"repro/internal/psioa"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/testaut"
+)
+
+// BenchmarkE1CompositionBound measures the Lemma 4.3 description-bound
+// computation for a PSIOA pair.
+func BenchmarkE1CompositionBound(b *testing.B) {
+	a1 := testaut.Counter("a1", 16)
+	a2 := testaut.Counter("a2", 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bounded.CompositionBound(a1, a2, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2PCACompositionBound measures the Lemma B.2 bound computation
+// for composed dynamic ledgers.
+func BenchmarkE2PCACompositionBound(b *testing.B) {
+	x1, _ := ledger.Host("a", 2, ledger.Direct)
+	x2, _ := ledger.Host("b", 2, ledger.Parity)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		comp, err := pca.ComposePCA(x1, x2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bounded.Describe(pca.DescAdapter{PCA: comp}, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3HidingBound measures the Lemma 4.5 bound computation.
+func BenchmarkE3HidingBound(b *testing.B) {
+	a := testaut.Counter("a", 16)
+	s := dse.NewActionSet("done_a")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bounded.HidingBound(a, s, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4Transitivity measures a full witness-checked transitivity
+// instance (Theorem 4.16).
+func BenchmarkE4Transitivity(b *testing.B) {
+	delta := 0.0625
+	a1 := coin.Flipper("x", 0.5+2*delta)
+	a3 := coin.Fair("x")
+	w13 := core.ComposeWitnesses(coin.Flipper("x", 0.5+delta), core.IdentityWitness(), core.IdentityWitness())
+	opt := core.Options{
+		Envs: []psioa.PSIOA{coin.Env("x")}, Schema: &sched.ObliviousSchema{},
+		Insight: insight.Trace(), Eps: 2 * delta, Q1: 3, Q2: 3,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.ImplementsWitness(a1, a3, w13, opt)
+		if err != nil || !rep.Holds {
+			b.Fatalf("%v %v", rep, err)
+		}
+	}
+}
+
+// BenchmarkE5Composability measures the Lemma 4.13 conclusion check.
+func BenchmarkE5Composability(b *testing.B) {
+	delta := 0.125
+	left, right, err := core.ComposeContext(coin.Fair("y"), coin.Flipper("x", 0.5+delta), coin.Fair("x"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.Options{
+		Envs:    []psioa.PSIOA{coin.Env("x")},
+		Schema:  &sched.PrefixPrioritySchema{Templates: [][]string{{"flip_x", "result"}}},
+		Insight: insight.Trace(), Eps: delta, Q1: 4, Q2: 4,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Implements(left, right, opt)
+		if err != nil || !rep.Holds {
+			b.Fatalf("%v %v", rep, err)
+		}
+	}
+}
+
+// BenchmarkE6FamilyCheck measures one family-member implementation check of
+// the Lemma 4.14 experiment.
+func BenchmarkE6FamilyCheck(b *testing.B) {
+	fam := coin.Family("x")
+	fair := coin.FairFamily("x")
+	opt := core.Options{
+		Envs: []psioa.PSIOA{coin.Env("x")}, Schema: &sched.ObliviousSchema{},
+		Insight: insight.Trace(), Eps: bounded.Negl(2)(6), Q1: 3, Q2: 3,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Implements(fam(6), fair(6), opt)
+		if err != nil || !rep.Holds {
+			b.Fatalf("%v %v", rep, err)
+		}
+	}
+}
+
+// BenchmarkE7DummyForward measures the Lemma 4.29 pipeline: transport a
+// scheduler through Forward^s and compare the two worlds' perceptions.
+func BenchmarkE7DummyForward(b *testing.B) {
+	env := channel.Env("x", 1)
+	a := channel.Real("x")
+	adv := psioa.RenameMap(channel.Eavesdropper("x"), channel.G("x"))
+	ctx, err := adversary.NewForwardCtx(env, a, adv, channel.G("x"), 10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss, err := (&sched.PrefixPrioritySchema{Templates: [][]string{
+		{"send", "encrypt", "g_tap", "guess", "deliver"},
+	}}).Enumerate(ctx.W1, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s1 := ss[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s2 := ctx.ForwardSched(s1)
+		d1, err := insight.FDist(ctx.W1, s1, insight.Trace(), 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d2, err := insight.FDist(ctx.W2, s2, insight.Trace(), 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if insight.Distance(d1, d2) > 1e-9 {
+			b.Fatal("lemma 4.29 violated")
+		}
+	}
+}
+
+// BenchmarkE8SecureEmulation measures a full single-instance OTP
+// secure-emulation check (Def 4.26).
+func BenchmarkE8SecureEmulation(b *testing.B) {
+	real := channel.Real("x")
+	ideal := channel.Ideal("x")
+	cases := []core.AdvSim{{Adv: channel.Eavesdropper("x"), Sim: channel.SimFor("x")}}
+	opt := core.Options{
+		Envs: []psioa.PSIOA{channel.Env("x", 0), channel.Env("x", 1)},
+		Schema: &sched.PrefixPrioritySchema{Templates: [][]string{
+			{"send", "encrypt", "tap", "notify", "fabricate", "g_tap", "guess", "deliver"},
+			{"send", "encrypt", "tap", "notify", "deliver"},
+		}},
+		Insight: insight.Trace(), Eps: 0, Q1: 8, Q2: 8,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.SecureEmulates(real, ideal, cases, opt, 50000)
+		if err != nil || !rep.Holds {
+			b.Fatalf("%v %v", rep, err)
+		}
+	}
+}
+
+// BenchmarkE9DynamicCreation measures execution-measure computation over a
+// dynamic ledger (creation + destruction on every path).
+func BenchmarkE9DynamicCreation(b *testing.B) {
+	x, _ := ledger.Host("m", 2, ledger.Direct)
+	order := []psioa.Action{
+		"sample_0_m", "sample_1_m",
+		ledger.Sealed("m", 0, 0), ledger.Sealed("m", 0, 1),
+		ledger.Sealed("m", 1, 0), ledger.Sealed("m", 1, 1),
+		ledger.Open("m"),
+	}
+	s := &sched.Priority{A: x, Bound: 12, LocalOnly: true, Order: order}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		em, err := sched.Measure(x, s, 20)
+		if err != nil || em.Len() == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10ExecMeasure measures exact ε_σ computation on a branching
+// random walk (depth 12).
+func BenchmarkE10ExecMeasure(b *testing.B) {
+	w := testaut.RandomWalk("w", 8, 0.5)
+	s := &sched.Greedy{A: w, Bound: 12, LocalOnly: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Measure(w, s, 14); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10Sampling measures the Monte-Carlo alternative at the same
+// depth (per sampled execution).
+func BenchmarkE10Sampling(b *testing.B) {
+	w := testaut.RandomWalk("w", 8, 0.5)
+	s := &sched.Greedy{A: w, Bound: 12, LocalOnly: true}
+	stream := rng.New(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Sample(w, s, stream, 14); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11DynamicEmulation measures the full dynamic-host secure
+// emulation check (one run-time-created session).
+func BenchmarkE11DynamicEmulation(b *testing.B) {
+	real := dynchannel.Host("d", 1, dynchannel.RealKind)
+	ideal := dynchannel.Host("d", 1, dynchannel.IdealKind)
+	cases := []core.AdvSim{{Adv: dynchannel.Adversary("d", 1), Sim: dynchannel.Simulator("d", 1)}}
+	opt := core.Options{
+		Envs: []psioa.PSIOA{dynchannel.Env("d", []int{0}), dynchannel.Env("d", []int{1})},
+		Schema: &sched.PrefixPrioritySchema{Templates: [][]string{
+			{"open", "send", "encrypt", "tap", "notify", "fabricate", "guess", "deliver"},
+			{"open", "send", "encrypt", "tap", "notify", "deliver"},
+		}},
+		Insight: insight.Trace(), Eps: 0, Q1: 10, Q2: 10,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.SecureEmulates(real, ideal, cases, opt, 20000)
+		if err != nil || !rep.Holds {
+			b.Fatalf("%v %v", rep, err)
+		}
+	}
+}
+
+// BenchmarkE12Commitment measures the stateful-simulator emulation check on
+// the bit-commitment protocol.
+func BenchmarkE12Commitment(b *testing.B) {
+	opt := core.Options{
+		Envs: []psioa.PSIOA{commitment.Env("x", 0), commitment.Env("x", 1)},
+		Schema: &sched.PrefixPrioritySchema{Templates: [][]string{
+			{"commit", "blind", "tapc", "committed", "fabc", "seec", "open_x", "tapp", "opened", "fabp", "seep", "reveal"},
+		}},
+		Insight: insight.Trace(), Eps: 0, Q1: 12, Q2: 12,
+	}
+	cases := []core.AdvSim{{Adv: commitment.Observer("x"), Sim: commitment.Sim("x")}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.SecureEmulates(commitment.Real("x"), commitment.Ideal("x"), cases, opt, 50000)
+		if err != nil || !rep.Holds {
+			b.Fatalf("%v %v", rep, err)
+		}
+	}
+}
+
+// BenchmarkE13CreationMonotonicity measures the end-to-end monotonicity
+// check (child relation + obliviousness + host relation).
+func BenchmarkE13CreationMonotonicity(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E13CreationMonotonicity()
+		if err != nil || tbl == nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE14CoinFlipping measures the passive XOR coin-flipping emulation
+// check (the largest composed real system in the suite: 3 automata + 2
+// relays).
+func BenchmarkE14CoinFlipping(b *testing.B) {
+	opt := core.Options{
+		Envs: []psioa.PSIOA{coinflip.Env("x")},
+		Schema: &sched.PrefixPrioritySchema{Templates: [][]string{
+			{"pick", "share", "see", "toss", "announce", "fabshare", "result"},
+		}},
+		Insight: insight.Trace(), Eps: 0, Q1: 12, Q2: 12,
+	}
+	cases := []core.AdvSim{{Adv: coinflip.PassiveAdv("x", 2), Sim: coinflip.PassiveSim("x")}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.SecureEmulates(coinflip.Real("x", 2), coinflip.Ideal("x"), cases, opt, 50000)
+		if err != nil || !rep.Holds {
+			b.Fatalf("%v %v", rep, err)
+		}
+	}
+}
+
+// Micro-benchmarks of the framework kernels.
+
+// BenchmarkComposeSig measures composed-signature evaluation (cold cache).
+func BenchmarkComposeSig(b *testing.B) {
+	auts := make([]psioa.PSIOA, 8)
+	for i := range auts {
+		auts[i] = testaut.Coin(fmt.Sprintf("c%d", i), 0.5)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := psioa.MustCompose(auts...)
+		p.Sig(p.Start())
+	}
+}
+
+// BenchmarkProductTrans measures a product transition with 8 participants
+// (warm caches).
+func BenchmarkProductTrans(b *testing.B) {
+	auts := make([]psioa.PSIOA, 8)
+	for i := range auts {
+		auts[i] = testaut.Coin(fmt.Sprintf("c%d", i), 0.5)
+	}
+	p := psioa.MustCompose(auts...)
+	q := p.Start()
+	p.Trans(q, "flip_c3")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Trans(q, "flip_c3")
+	}
+}
+
+// BenchmarkExplore measures reachability analysis of a composed system.
+func BenchmarkExplore(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := psioa.MustCompose(channel.Env("x", 1), channel.Real("x"), channel.Eavesdropper("x"))
+		if _, err := psioa.Explore(w, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBalancedSup measures the Def 3.6 distance on 1k-point supports.
+func BenchmarkBalancedSup(b *testing.B) {
+	x := make(map[string]float64, 1000)
+	y := make(map[string]float64, 1000)
+	for i := 0; i < 1000; i++ {
+		x[fmt.Sprint(i)] = 1.0 / 1000
+		y[fmt.Sprint((i+1)%1000)] = 1.0 / 1000
+	}
+	dx := measure.MustFromMap(x)
+	dy := measure.MustFromMap(y)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dse.BalancedSup(dx, dy)
+	}
+}

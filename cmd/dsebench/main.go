@@ -1,0 +1,83 @@
+// dsebench runs the reproduction experiment suite E1–E10 (see DESIGN.md and
+// EXPERIMENTS.md): each experiment validates one lemma or theorem of the
+// paper on calibrated instances and prints a table of measured quantities.
+//
+// Usage:
+//
+//	dsebench            # run everything
+//	dsebench -only E4   # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (E1..E10)")
+	flag.Parse()
+
+	runs := map[string]func() (*experiments.Table, error){
+		"E1":  experiments.E1CompositionBound,
+		"E2":  experiments.E2PCACompositionBound,
+		"E3":  experiments.E3HidingBound,
+		"E4":  experiments.E4Transitivity,
+		"E5":  experiments.E5Composability,
+		"E6":  experiments.E6FamilyNegPt,
+		"E7":  experiments.E7DummyInsertion,
+		"E8":  experiments.E8SecureEmulation,
+		"E9":  experiments.E9DynamicCreation,
+		"E10": experiments.E10Scaling,
+		"E11": experiments.E11DynamicEmulation,
+		"E12": experiments.E12Commitment,
+		"E13": experiments.E13CreationMonotonicity,
+		"E14": experiments.E14CoinFlipping,
+		"E15": experiments.E15FamilyEmulation,
+		"E16": experiments.E16SchedulingRole,
+		"E17": experiments.E17SamplingConvergence,
+	}
+
+	if *only != "" {
+		run, ok := runs[strings.ToUpper(*only)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dsebench: unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+		emit(run)
+		return
+	}
+
+	start := time.Now()
+	tables, err := experiments.All()
+	for _, t := range tables {
+		fmt.Println(t)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsebench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("all experiments completed in %s\n", time.Since(start).Round(time.Millisecond))
+	for _, t := range tables {
+		if strings.HasPrefix(t.Verdict, "FAIL") {
+			fmt.Fprintf(os.Stderr, "dsebench: %s failed\n", t.ID)
+			os.Exit(1)
+		}
+	}
+}
+
+func emit(run func() (*experiments.Table, error)) {
+	t, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsebench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(t)
+	if strings.HasPrefix(t.Verdict, "FAIL") {
+		os.Exit(1)
+	}
+}

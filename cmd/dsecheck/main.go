@@ -1,0 +1,117 @@
+// dsecheck decides approximate implementation (Def 4.12) between two
+// systems: for every scheduler of the schema on env‖left it searches a
+// balanced scheduler on env‖right.
+//
+// Usage:
+//
+//	dsecheck -left coin:leaky:x:4 -right coin:fair:x -env coin:env:x \
+//	         -eps 0.0625 -q1 3
+//	dsecheck -left chan:leaky:x:0.5 -right chan:ideal:x \
+//	         -env chan:env:x:0 -env chan:env:x:1 \
+//	         -schema priority -tmpl send,encrypt,tap,notify,fabricate,deliver \
+//	         -eps 0.25 -q1 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/insight"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/spec"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ";") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	left := flag.String("left", "", "left (implementing) system reference")
+	right := flag.String("right", "", "right (specification) system reference")
+	var envs, tmpls multiFlag
+	flag.Var(&envs, "env", "environment reference (repeatable)")
+	flag.Var(&tmpls, "tmpl", "priority template, comma-separated prefixes (repeatable; priority schema)")
+	schemaName := flag.String("schema", "oblivious", "scheduler schema: oblivious | priority | basic")
+	eps := flag.Float64("eps", 0, "tolerance ε")
+	q1 := flag.Int("q1", 3, "left scheduler bound")
+	q2 := flag.Int("q2", 0, "right scheduler bound (default q1)")
+	verbose := flag.Bool("v", false, "print every (environment, scheduler) pair")
+	flag.Parse()
+
+	if *left == "" || *right == "" || len(envs) == 0 {
+		fmt.Fprintln(os.Stderr, "dsecheck: need -left, -right and at least one -env")
+		os.Exit(2)
+	}
+	a, err := spec.Resolve(*left)
+	fatal(err)
+	b, err := spec.Resolve(*right)
+	fatal(err)
+	var envAuts []psioa.PSIOA
+	for _, ref := range envs {
+		e, err := spec.Resolve(ref)
+		fatal(err)
+		envAuts = append(envAuts, e)
+	}
+
+	var schema sched.Schema
+	switch *schemaName {
+	case "oblivious":
+		schema = &sched.ObliviousSchema{}
+	case "basic":
+		schema = sched.BasicSchema{}
+	case "priority":
+		if len(tmpls) == 0 {
+			fmt.Fprintln(os.Stderr, "dsecheck: priority schema needs at least one -tmpl")
+			os.Exit(2)
+		}
+		var templates [][]string
+		for _, t := range tmpls {
+			templates = append(templates, strings.Split(t, ","))
+		}
+		schema = &sched.PrefixPrioritySchema{Templates: templates}
+	default:
+		fmt.Fprintf(os.Stderr, "dsecheck: unknown schema %q\n", *schemaName)
+		os.Exit(2)
+	}
+
+	rep, err := core.Implements(a, b, core.Options{
+		Envs:    envAuts,
+		Schema:  schema,
+		Insight: insight.Trace(),
+		Eps:     *eps,
+		Q1:      *q1,
+		Q2:      *q2,
+	})
+	fatal(err)
+
+	fmt.Printf("%s ≤_{%g} %s [schema %s, q1=%d]: %v\n", *left, *eps, *right, schema.Name(), *q1, rep.Holds)
+	fmt.Printf("  pairs checked: %d, measured max distance: %.6g\n", len(rep.Pairs), rep.MaxDist)
+	if *verbose {
+		for _, p := range rep.Pairs {
+			status := "ok"
+			if !p.OK {
+				status = "FAIL"
+			}
+			fmt.Printf("  [%s] env=%s sched=%s dist=%.6g matched=%s\n", status, p.Env, p.Sched, p.Dist, p.Matched)
+		}
+	} else {
+		for _, p := range rep.Failures() {
+			fmt.Printf("  FAIL env=%s sched=%s dist=%.6g\n", p.Env, p.Sched, p.Dist)
+		}
+	}
+	if !rep.Holds {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsecheck:", err)
+		os.Exit(1)
+	}
+}

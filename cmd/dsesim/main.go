@@ -1,0 +1,166 @@
+// dsesim simulates automata under schedulers: it composes the referenced
+// systems, resolves non-determinism with the chosen scheduler, and prints
+// either the exact execution measure or Monte-Carlo trace estimates.
+//
+// Usage:
+//
+//	dsesim -sys chan:real:x -sys chan:env:x:1 -sched priority \
+//	       -order send,encrypt,tap,deliver -bound 8
+//	dsesim -sys coin:fair:x -sys coin:env:x -sched random -bound 4 -samples 10000
+//
+// System references are JSON spec paths or built-in names (see
+// internal/spec). With -samples > 0 the tool samples instead of computing
+// the exact measure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/insight"
+	"repro/internal/psioa"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/spec"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var systems multiFlag
+	flag.Var(&systems, "sys", "system reference (repeatable; composed in order)")
+	schedName := flag.String("sched", "greedy", "scheduler: greedy | random | priority | sequence")
+	order := flag.String("order", "", "comma-separated action prefixes (priority) or actions (sequence)")
+	bound := flag.Int("bound", 10, "scheduler bound (Def 4.6)")
+	samples := flag.Int("samples", 0, "Monte-Carlo samples (0 = exact measure)")
+	seed := flag.Uint64("seed", 1, "random seed for sampling")
+	insightName := flag.String("insight", "trace", "insight: trace | accept:<action> | print:<prefix>")
+	maxShow := flag.Int("show", 20, "max entries to print")
+	flag.Parse()
+
+	if len(systems) == 0 {
+		fmt.Fprintln(os.Stderr, "dsesim: need at least one -sys")
+		os.Exit(2)
+	}
+	var auts []psioa.PSIOA
+	for _, ref := range systems {
+		a, err := spec.Resolve(ref)
+		fatal(err)
+		auts = append(auts, a)
+	}
+	w, err := psioa.Compose(auts...)
+	fatal(err)
+	fatal(psioa.Validate(w, 200000))
+
+	s := buildSched(w, *schedName, *order, *bound)
+	f := buildInsight(*insightName)
+
+	if *samples > 0 {
+		stream := rng.New(*seed)
+		d, err := sched.SampleImage(w, s, stream, 4**bound+16, *samples, func(fr *psioa.Frag) string {
+			return f.Apply(w, fr)
+		})
+		fatal(err)
+		fmt.Printf("sampled %s distribution over %d runs (%d outcomes):\n", f.ID, *samples, d.Len())
+		printDist(dMap(d.Support(), d.P), *maxShow)
+		return
+	}
+
+	em, err := sched.Measure(w, s, 4**bound+16)
+	fatal(err)
+	fmt.Printf("exact execution measure: %d executions, total mass %.6f, max length %d\n",
+		em.Len(), em.Total(), em.MaxLen())
+	img := em.Image(func(fr *psioa.Frag) string { return f.Apply(w, fr) })
+	fmt.Printf("%s distribution (%d outcomes):\n", f.ID, img.Len())
+	printDist(dMap(img.Support(), img.P), *maxShow)
+}
+
+func buildSched(w psioa.PSIOA, name, order string, bound int) sched.Scheduler {
+	var acts []psioa.Action
+	if order != "" {
+		for _, s := range strings.Split(order, ",") {
+			acts = append(acts, psioa.Action(strings.TrimSpace(s)))
+		}
+	}
+	switch name {
+	case "greedy":
+		return &sched.Greedy{A: w, Bound: bound, LocalOnly: true}
+	case "random":
+		return &sched.Random{A: w, Bound: bound, LocalOnly: true}
+	case "priority":
+		tmpl := make([]string, len(acts))
+		for i, a := range acts {
+			tmpl[i] = string(a)
+		}
+		ss, err := (&sched.PrefixPrioritySchema{Templates: [][]string{tmpl}}).Enumerate(w, bound)
+		fatal(err)
+		return ss[0]
+	case "sequence":
+		return &sched.Sequence{A: w, Acts: acts, LocalOnly: true}
+	default:
+		fmt.Fprintf(os.Stderr, "dsesim: unknown scheduler %q\n", name)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func buildInsight(name string) insight.Insight {
+	switch {
+	case name == "trace":
+		return insight.Trace()
+	case strings.HasPrefix(name, "accept:"):
+		return insight.Accept(psioa.Action(strings.TrimPrefix(name, "accept:")))
+	case strings.HasPrefix(name, "print:"):
+		return insight.Print(strings.TrimPrefix(name, "print:"))
+	default:
+		fmt.Fprintf(os.Stderr, "dsesim: unknown insight %q\n", name)
+		os.Exit(2)
+		return insight.Insight{}
+	}
+}
+
+type entry struct {
+	k string
+	p float64
+}
+
+func dMap(keys []string, p func(string) float64) []entry {
+	out := make([]entry, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, entry{k, p(k)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].p != out[j].p {
+			return out[i].p > out[j].p
+		}
+		return out[i].k < out[j].k
+	})
+	return out
+}
+
+func printDist(entries []entry, maxShow int) {
+	for i, e := range entries {
+		if i >= maxShow {
+			fmt.Printf("  ... (%d more)\n", len(entries)-maxShow)
+			return
+		}
+		k := e.k
+		if k == "()" || k == "" {
+			k = "(empty)"
+		}
+		fmt.Printf("  %8.5f  %s\n", e.p, k)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsesim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,275 @@
+// Package dse is the public facade of the Composable Dynamic Secure
+// Emulation framework — an executable rendering of Civit & Potop-Butucaru,
+// "Composable Dynamic Secure Emulation" (SPAA 2022), built on dynamic
+// probabilistic input/output automata.
+//
+// The framework is organised in layers, each its own package; this facade
+// re-exports the names a typical user needs so one import suffices:
+//
+//   - automata: PSIOA (Def 2.1), signatures, composition (Def 2.18),
+//     hiding, renaming, executions and traces — internal/psioa;
+//   - dynamics: configurations and PCA with run-time creation and
+//     destruction of automata (Defs 2.9–2.19) — internal/pca;
+//   - scheduling: schedulers, scheduler schemas and the execution measure
+//     ε_σ (Defs 3.1–3.2, 4.6) — internal/sched;
+//   - perception: insight functions, f-dist and the balanced-scheduler
+//     distance (Defs 3.4–3.7) — internal/insight;
+//   - resources: description bounds, bounded families, polynomial and
+//     negligible asymptotics (§4.1–4.5) — internal/bounded;
+//   - security: structured automata (Def 4.17), adversaries and the dummy
+//     adversary (Defs 4.24, 4.27), approximate implementation (Def 4.12)
+//     and secure emulation with the Theorem 4.30 composed-simulator
+//     construction — internal/structured, internal/adversary,
+//     internal/core.
+//
+// A minimal session:
+//
+//	fair := coin.Fair("x")            // ideal system
+//	leaky := coin.Leaky("x", 8)       // real system, bias 2^-8
+//	rep, err := dse.Implements(leaky, fair, dse.Options{
+//	    Envs:    []dse.PSIOA{coin.Env("x")},
+//	    Schema:  &dse.ObliviousSchema{},
+//	    Insight: dse.Trace(),
+//	    Eps:     1.0 / 256,
+//	    Q1:      3,
+//	})
+//
+// See examples/ for complete programs and EXPERIMENTS.md for the
+// experiment suite that validates every lemma and theorem of the paper.
+package dse
+
+import (
+	"repro/internal/adversary"
+	"repro/internal/bounded"
+	"repro/internal/core"
+	"repro/internal/insight"
+	"repro/internal/measure"
+	"repro/internal/pca"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/structured"
+)
+
+// Automata layer (internal/psioa).
+type (
+	// PSIOA is a probabilistic signature input/output automaton (Def 2.1).
+	PSIOA = psioa.PSIOA
+	// State is an automaton state (canonical string encoding).
+	State = psioa.State
+	// Action is an action name.
+	Action = psioa.Action
+	// ActionSet is a finite set of actions.
+	ActionSet = psioa.ActionSet
+	// Signature is a state signature (in, out, int).
+	Signature = psioa.Signature
+	// Builder assembles explicit finite automata.
+	Builder = psioa.Builder
+	// Table is an explicit finite automaton.
+	Table = psioa.Table
+	// Product is a parallel composition (Def 2.18).
+	Product = psioa.Product
+	// Frag is an execution fragment (Def 2.2).
+	Frag = psioa.Frag
+	// Exploration is a bounded reachability analysis result.
+	Exploration = psioa.Exploration
+)
+
+var (
+	// NewBuilder starts building a finite automaton.
+	NewBuilder = psioa.NewBuilder
+	// NewActionSet builds an action set.
+	NewActionSet = psioa.NewActionSet
+	// NewSignature builds a signature from action lists.
+	NewSignature = psioa.NewSignature
+	// Compose builds the partial composition A₁‖...‖Aₙ.
+	Compose = psioa.Compose
+	// MustCompose is Compose that panics on error.
+	MustCompose = psioa.MustCompose
+	// Hide applies the hiding operator (Def 2.7).
+	Hide = psioa.Hide
+	// HideSet hides a fixed output set.
+	HideSet = psioa.HideSet
+	// Rename applies action renaming (Def 2.8).
+	Rename = psioa.Rename
+	// RenameMap renames via a fixed injective map.
+	RenameMap = psioa.RenameMap
+	// Explore performs bounded reachability analysis.
+	Explore = psioa.Explore
+	// Validate checks the PSIOA constraints on the reachable fragment.
+	Validate = psioa.Validate
+	// NewFrag returns the zero-length fragment at a state.
+	NewFrag = psioa.NewFrag
+)
+
+// Dynamics layer (internal/pca).
+type (
+	// PCA is a probabilistic configuration automaton (Def 2.16).
+	PCA = pca.PCA
+	// Config is a configuration (A, S) (Def 2.9).
+	Config = pca.Config
+	// Registry maps automaton identifiers to automata.
+	Registry = pca.Registry
+	// MapRegistry is a Registry backed by a map.
+	MapRegistry = pca.MapRegistry
+	// ConfigAutomaton is the standard PCA constructor.
+	ConfigAutomaton = pca.ConfigAutomaton
+)
+
+var (
+	// NewConfig builds a configuration from an id → state map.
+	NewConfig = pca.NewConfig
+	// NewPCA builds a ConfigAutomaton (constraints of Def 2.16 by
+	// construction).
+	NewPCA = pca.New
+	// WithCreated installs a creation mapping.
+	WithCreated = pca.WithCreated
+	// WithHidden installs a hidden-actions mapping.
+	WithHidden = pca.WithHidden
+	// ComposePCA composes PCAs (Def 2.19).
+	ComposePCA = pca.ComposePCA
+	// ValidatePCA mechanically checks PCA constraints 1–4.
+	ValidatePCA = pca.ValidatePCA
+	// IntrinsicTrans computes the dynamic transition of Def 2.14.
+	IntrinsicTrans = pca.IntrinsicTrans
+	// CreationMaskView renders the creation-oblivious view of §4.4.
+	CreationMaskView = pca.CreationMaskView
+)
+
+// Scheduling layer (internal/sched).
+type (
+	// Scheduler resolves non-determinism (Def 3.1).
+	Scheduler = sched.Scheduler
+	// Schema is a scheduler schema (Def 3.2).
+	Schema = sched.Schema
+	// ObliviousSchema enumerates off-line deterministic schedulers.
+	ObliviousSchema = sched.ObliviousSchema
+	// PrefixPrioritySchema enumerates run-to-completion strategies.
+	PrefixPrioritySchema = sched.PrefixPrioritySchema
+	// ExecMeasure is the execution measure ε_σ.
+	ExecMeasure = sched.ExecMeasure
+)
+
+var (
+	// Measure computes ε_σ exactly.
+	Measure = sched.Measure
+	// Sample simulates one execution.
+	Sample = sched.Sample
+	// IsBounded verifies Def 4.6 boundedness.
+	IsBounded = sched.IsBounded
+)
+
+// Perception layer (internal/insight).
+type (
+	// Insight is an insight function (Def 3.4).
+	Insight = insight.Insight
+)
+
+var (
+	// Trace is the external-trace insight.
+	Trace = insight.Trace
+	// Accept is the accept insight of Canetti et al.
+	Accept = insight.Accept
+	// Print is the print insight of the PSIOA framework.
+	Print = insight.Print
+	// FDist computes f-dist (Def 3.5).
+	FDist = insight.FDist
+	// Balanced checks σ S^{≤ε}_{E,f} σ′ (Def 3.6).
+	Balanced = insight.Balanced
+	// Distance is the Def 3.6 distance between perceptions.
+	Distance = insight.Distance
+)
+
+// Resource layer (internal/bounded).
+type (
+	// Desc is a description-length report (Defs 4.1–4.2).
+	Desc = bounded.Desc
+	// Family is an indexed automaton family (Def 4.7).
+	Family = bounded.Family
+	// Fn is a bound/tolerance function ℕ → ℝ≥0.
+	Fn = bounded.Fn
+)
+
+var (
+	// Describe measures canonical description lengths.
+	Describe = bounded.Describe
+	// CompositionBound checks Lemma 4.3 empirically.
+	CompositionBound = bounded.CompositionBound
+	// HidingBound checks Lemma 4.5 empirically.
+	HidingBound = bounded.HidingBound
+	// Poly builds a polynomial bound.
+	Poly = bounded.Poly
+	// Negl builds a negligible function base^(−k).
+	Negl = bounded.Negl
+)
+
+// Security layer (internal/structured, internal/adversary, internal/core).
+type (
+	// SPSIOA is a structured PSIOA (Def 4.17).
+	SPSIOA = structured.SPSIOA
+	// Structured wraps a PSIOA with an environment-action mapping.
+	Structured = structured.Structured
+	// DummyAdv is the dummy adversary of Def 4.27.
+	DummyAdv = adversary.DummyAdv
+	// ForwardCtx packages Lemma 4.29's two worlds and transports.
+	ForwardCtx = adversary.ForwardCtx
+	// Options configures implementation-relation checks (Def 4.12).
+	Options = core.Options
+	// Report is an implementation-check outcome.
+	Report = core.Report
+	// Witness is a constructive scheduler correspondence σ ↦ σ′.
+	Witness = core.Witness
+	// AdvSim is an adversary/simulator pair for secure emulation.
+	AdvSim = core.AdvSim
+	// SFamily is an indexed family of structured automata (Def 4.26).
+	SFamily = core.SFamily
+	// AdvSimFamily pairs an adversary family with its simulator family.
+	AdvSimFamily = core.AdvSimFamily
+	// FamilyEmulationReport is a family-level emulation outcome.
+	FamilyEmulationReport = core.FamilyEmulationReport
+	// EmulationReport is a secure-emulation outcome.
+	EmulationReport = core.EmulationReport
+)
+
+var (
+	// NewStructured wraps an automaton with an EAct mapping.
+	NewStructured = structured.New
+	// NewStructuredSet wraps with a fixed environment-action set.
+	NewStructuredSet = structured.NewSet
+	// AAct returns the adversary actions at a state.
+	AAct = structured.AAct
+	// IsAdversaryFor checks Def 4.24.
+	IsAdversaryFor = adversary.IsAdversaryFor
+	// Dummy builds the dummy adversary of Def 4.27.
+	Dummy = adversary.Dummy
+	// NewForwardCtx builds the Lemma 4.29 worlds.
+	NewForwardCtx = adversary.NewForwardCtx
+	// Implements checks A ≤^{Sch,f}_{q1,q2,ε} B exhaustively (Def 4.12).
+	Implements = core.Implements
+	// ImplementsWitness checks the relation with a constructive witness.
+	ImplementsWitness = core.ImplementsWitness
+	// SecureEmulates checks Def 4.26.
+	SecureEmulates = core.SecureEmulates
+	// SecureEmulatesFamily checks Def 4.26 at the family level.
+	SecureEmulatesFamily = core.SecureEmulatesFamily
+	// NegPtEmulation checks the ≤_{neg,pt} emulation error curve.
+	NegPtEmulation = core.NegPtEmulation
+	// ComposedSimulator builds Theorem 4.30's simulator.
+	ComposedSimulator = core.ComposedSimulator
+	// ComposeWitnesses chains witnesses along Theorem 4.16.
+	ComposeWitnesses = core.ComposeWitnesses
+	// ContextWitness lifts a witness into a context (Lemma 4.13).
+	ContextWitness = core.ContextWitness
+	// FamilyImplements checks the family-level relation.
+	FamilyImplements = core.FamilyImplements
+	// NegPt checks the ≤_{neg,pt} form on a finite range.
+	NegPt = core.NegPt
+)
+
+// Dist is a discrete sub-probability measure over string-encoded elements.
+type Dist = measure.Dist[string]
+
+// BalancedSup is the Def 3.6 distance on raw distributions.
+func BalancedSup(d, e *Dist) float64 { return measure.BalancedSup(d, e) }
+
+// TVDistance is the total-variation distance on raw distributions.
+func TVDistance(d, e *Dist) float64 { return measure.TVDistance(d, e) }

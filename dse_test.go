@@ -1,0 +1,90 @@
+package dse_test
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+	"repro/internal/measure"
+	"repro/internal/protocols/channel"
+	"repro/internal/protocols/coin"
+)
+
+// TestFacadeEndToEnd exercises the public facade exactly as the package
+// documentation advertises: build, compose, validate, measure, check.
+func TestFacadeEndToEnd(t *testing.T) {
+	fair := coin.Fair("x")
+	leaky := coin.Leaky("x", 8)
+	rep, err := dse.Implements(leaky, fair, dse.Options{
+		Envs:    []dse.PSIOA{coin.Env("x")},
+		Schema:  &dse.ObliviousSchema{},
+		Insight: dse.Trace(),
+		Eps:     1.0 / 256,
+		Q1:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("doc-comment example fails: %s", rep)
+	}
+	if math.Abs(rep.MaxDist-1.0/256) > 1e-9 {
+		t.Errorf("MaxDist = %v, want 1/256", rep.MaxDist)
+	}
+}
+
+// TestFacadeBuilder builds an automaton through the facade aliases.
+func TestFacadeBuilder(t *testing.T) {
+	a := dse.NewBuilder("t", "q0").
+		AddState("q0", dse.NewSignature(nil, []dse.Action{"go"}, nil)).
+		AddState("q1", dse.NewSignature(nil, nil, nil)).
+		AddDet("q0", "go", "q1").
+		MustBuild()
+	if err := dse.Validate(a, 10); err != nil {
+		t.Fatal(err)
+	}
+	w, err := dse.Compose(a, coin.Fair("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := dse.Explore(w, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.States) == 0 {
+		t.Error("no reachable states")
+	}
+}
+
+// TestFacadeDistances checks the re-exported measure functions.
+func TestFacadeDistances(t *testing.T) {
+	a := measure.MustFromMap(map[string]float64{"x": 0.5, "y": 0.5})
+	b := measure.MustFromMap(map[string]float64{"x": 0.75, "y": 0.25})
+	if got := dse.BalancedSup(a, b); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("BalancedSup = %v", got)
+	}
+	if got := dse.TVDistance(a, b); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("TVDistance = %v", got)
+	}
+}
+
+// TestFacadeSecureEmulation smoke-tests the security-layer aliases.
+func TestFacadeSecureEmulation(t *testing.T) {
+	rep, err := dse.SecureEmulates(channel.Real("x"), channel.Ideal("x"),
+		[]dse.AdvSim{{Adv: channel.Blocker("x"), Sim: channel.BlockerSim("x")}},
+		dse.Options{
+			Envs: []dse.PSIOA{channel.Env("x", 0)},
+			Schema: &dse.PrefixPrioritySchema{Templates: [][]string{
+				{"send", "encrypt", "tap", "notify", "block", "deliver"},
+			}},
+			Insight: dse.Trace(),
+			Eps:     0,
+			Q1:      8,
+		}, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("facade emulation check failed: %s", rep)
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a probabilistic automaton, compose it with an
+// environment, resolve non-determinism with a scheduler, compute the exact
+// execution measure, and check an approximate implementation relation.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/protocols/coin"
+)
+
+func main() {
+	// A slightly biased coin protocol (the "real" system)...
+	biased := coin.Flipper("demo", 0.5+1.0/16)
+	// ...and the ideal fair coin it claims to implement.
+	fair := coin.Fair("demo")
+	// The distinguishing environment triggers one flip and listens.
+	env := coin.Env("demo")
+
+	// 1. Compose environment and system (Def 2.18) and validate.
+	world := dse.MustCompose(env, biased)
+	if err := dse.Validate(world, 1000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("composed world:", world.ID())
+
+	// 2. Resolve non-determinism with a bounded scheduler and compute the
+	// exact execution measure ε_σ (Section 3).
+	schema := &dse.ObliviousSchema{}
+	scheds, err := schema.Enumerate(world, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("oblivious schema enumerated %d schedulers of bound 3\n", len(scheds))
+	em, err := dse.Measure(world, scheds[len(scheds)/2], 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one scheduler's execution measure: %d executions, total mass %.3f\n",
+		em.Len(), em.Total())
+
+	// 3. Check the approximate implementation relation (Def 4.12):
+	// the biased coin implements the fair coin within ε = 1/16 but not
+	// within ε = 1/32.
+	for _, eps := range []float64{1.0 / 16, 1.0 / 32} {
+		rep, err := dse.Implements(biased, fair, dse.Options{
+			Envs:    []dse.PSIOA{env},
+			Schema:  schema,
+			Insight: dse.Trace(),
+			Eps:     eps,
+			Q1:      3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("biased ≤_%.4f fair: holds=%v (measured distance %.4f over %d scheduler pairs)\n",
+			eps, rep.Holds, rep.MaxDist, len(rep.Pairs))
+	}
+}

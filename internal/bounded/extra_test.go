@@ -1,0 +1,111 @@
+package bounded_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bounded"
+	"repro/internal/measure"
+	"repro/internal/psioa"
+	"repro/internal/testaut"
+)
+
+// unboundedCounter is an infinite-state functional automaton: exploration
+// must truncate and Describe must report it.
+func unboundedCounter() psioa.PSIOA {
+	return &psioa.Func{
+		Name:    "unbounded",
+		StartSt: "x",
+		SigFn: func(q psioa.State) psioa.Signature {
+			return psioa.NewSignature(nil, nil, []psioa.Action{"grow"})
+		},
+		TransFn: func(q psioa.State, a psioa.Action) *psioa.Dist {
+			return measure.Dirac(q + "x")
+		},
+	}
+}
+
+func TestDescribeTruncates(t *testing.T) {
+	d, err := bounded.Describe(unboundedCounter(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Truncated {
+		t.Error("infinite automaton not reported truncated")
+	}
+	if d.States != 50 {
+		t.Errorf("States = %d, want 50", d.States)
+	}
+	// The description bound grows with the exploration depth: states are
+	// unary-encoded here, so MaxStateBits ≈ 8·limit.
+	if d.MaxStateBits < 8*40 {
+		t.Errorf("MaxStateBits = %d, unexpectedly small", d.MaxStateBits)
+	}
+	if !strings.Contains(d.String(), "truncated") {
+		t.Error("String does not mention truncation")
+	}
+}
+
+func TestDescBIsMax(t *testing.T) {
+	d := &bounded.Desc{MaxStateBits: 10, MaxActionBits: 99, MaxTransBits: 50, MaxConfigBits: 98}
+	if d.B() != 99 {
+		t.Errorf("B = %d, want 99", d.B())
+	}
+}
+
+func TestEncodeTransitionSupportOrderCanonical(t *testing.T) {
+	// The measure's support map iterates randomly; the encoding must not.
+	d := measure.New[psioa.State]()
+	d.Add("zz", 0.25)
+	d.Add("aa", 0.25)
+	d.Add("mm", 0.5)
+	first := bounded.EncodeTransition("q", "a", d)
+	for i := 0; i < 20; i++ {
+		d2 := measure.New[psioa.State]()
+		d2.Add("mm", 0.5)
+		d2.Add("zz", 0.25)
+		d2.Add("aa", 0.25)
+		if bounded.EncodeTransition("q", "a", d2) != first {
+			t.Fatal("encoding depends on insertion order")
+		}
+	}
+}
+
+func TestQueryWorkErrors(t *testing.T) {
+	// Incompatible compositions error through QueryWork.
+	mk := func(id string) *psioa.Table {
+		return psioa.NewBuilder(id, "q").
+			AddState("q", psioa.NewSignature(nil, []psioa.Action{"o"}, nil)).
+			AddDet("q", "o", "q").
+			MustBuild()
+	}
+	p := psioa.MustCompose(mk("a"), mk("b"))
+	if _, _, err := bounded.QueryWork(p, 100); err == nil {
+		t.Error("incompatible composition accepted")
+	}
+}
+
+func TestBoundReportString(t *testing.T) {
+	r := &bounded.BoundReport{B1: 1, B2: 2, B12: 3, C: 1.0}
+	if !strings.Contains(r.String(), "c=1.000") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestInstrumentedCompatDelegation(t *testing.T) {
+	mk := func(id string) *psioa.Table {
+		return psioa.NewBuilder(id, "q").
+			AddState("q", psioa.NewSignature(nil, []psioa.Action{"o"}, nil)).
+			AddDet("q", "o", "q").
+			MustBuild()
+	}
+	var c bounded.Counter
+	inst := bounded.Instrument(psioa.MustCompose(mk("a"), mk("b")), &c)
+	if err := inst.CompatAt(inst.Start()); err == nil {
+		t.Error("instrumented wrapper hid the incompatibility")
+	}
+	ok := bounded.Instrument(testaut.Coin("c", 0.5), &c)
+	if err := ok.CompatAt(ok.Start()); err != nil {
+		t.Errorf("plain automaton reported incompatible: %v", err)
+	}
+}

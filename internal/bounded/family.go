@@ -1,0 +1,108 @@
+package bounded
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/psioa"
+	"repro/internal/sched"
+)
+
+// Fn is a function ℕ → ℝ≥0, used for time bounds b(k), polynomial bounds
+// p(k) and error bounds ε(k) of families.
+type Fn func(k int) float64
+
+// Poly returns the polynomial Σ coeffs[i]·kⁱ.
+func Poly(coeffs ...float64) Fn {
+	cp := append([]float64(nil), coeffs...)
+	return func(k int) float64 {
+		v, pow := 0.0, 1.0
+		for _, c := range cp {
+			v += c * pow
+			pow *= float64(k)
+		}
+		return v
+	}
+}
+
+// Negl returns the negligible function base^(−k) (base > 1). The canonical
+// choice base = 2 gives 2^−k.
+func Negl(base float64) Fn {
+	return func(k int) float64 { return math.Pow(base, -float64(k)) }
+}
+
+// Const returns the constant function.
+func Const(c float64) Fn { return func(int) float64 { return c } }
+
+// IsNegligibleOn empirically checks the defining property of negligibility
+// on a finite index range: for the given polynomial p, ε(k) ≤ 1/p(k) for
+// all k ≥ from in the range. This is the only machine-checkable rendering
+// of an asymptotic statement; the range should extend well past any
+// constant behaviour.
+func IsNegligibleOn(eps Fn, p Fn, from, to int) bool {
+	for k := from; k <= to; k++ {
+		if pv := p(k); pv > 0 && eps(k) > 1/pv {
+			return false
+		}
+	}
+	return true
+}
+
+// Family is a PSIOA family (Def 4.7): an indexed set (A_k) of automata.
+type Family func(k int) psioa.PSIOA
+
+// SchedulerFamily is a scheduler family (Def 4.9): an indexed set of
+// schedulers, one per security parameter.
+type SchedulerFamily func(k int) sched.Scheduler
+
+// ComposeFamilies composes two families pointwise (Def 4.7):
+// (A‖B)_k = A_k ‖ B_k.
+func ComposeFamilies(fs ...Family) Family {
+	return func(k int) psioa.PSIOA {
+		auts := make([]psioa.PSIOA, len(fs))
+		for i, f := range fs {
+			auts[i] = f(k)
+		}
+		return psioa.MustCompose(auts...)
+	}
+}
+
+// FamilyDesc describes every member of the family for k in [kmin, kmax].
+func FamilyDesc(f Family, kmin, kmax, limit int) (map[int]*Desc, error) {
+	out := make(map[int]*Desc, kmax-kmin+1)
+	for k := kmin; k <= kmax; k++ {
+		d, err := Describe(f(k), limit)
+		if err != nil {
+			return nil, fmt.Errorf("bounded: family member k=%d: %w", k, err)
+		}
+		out[k] = d
+	}
+	return out, nil
+}
+
+// CheckTimeBoundedFamily verifies Def 4.8 on a finite range: every A_k is
+// b(k)-bounded in the description sense, i.e. Describe(A_k).B() ≤ b(k).
+func CheckTimeBoundedFamily(f Family, b Fn, kmin, kmax, limit int) error {
+	descs, err := FamilyDesc(f, kmin, kmax, limit)
+	if err != nil {
+		return err
+	}
+	for k := kmin; k <= kmax; k++ {
+		if got := float64(descs[k].B()); got > b(k) {
+			return fmt.Errorf("bounded: family member k=%d has B=%v > b(k)=%v", k, got, b(k))
+		}
+	}
+	return nil
+}
+
+// CheckBoundedSchedulerFamily verifies Def 4.10 on a finite range: every
+// σ_k is b(k)-bounded (never schedules more than b(k) actions) against the
+// corresponding automaton family member.
+func CheckBoundedSchedulerFamily(f Family, sf SchedulerFamily, b Fn, kmin, kmax int) error {
+	for k := kmin; k <= kmax; k++ {
+		if err := sched.IsBounded(f(k), sf(k), int(b(k))); err != nil {
+			return fmt.Errorf("bounded: scheduler family member k=%d: %w", k, err)
+		}
+	}
+	return nil
+}

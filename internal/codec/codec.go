@@ -1,0 +1,162 @@
+// Package codec provides injective, canonical string encodings for the
+// structured objects of the framework: tuples, lists, sets and maps of
+// strings. These encodings play the role of the paper's bit-string
+// representations ⟨q⟩, ⟨a⟩, ⟨tr⟩, ⟨C⟩ (Section 4): they are used both as map
+// keys (so composite states, configurations and executions are comparable)
+// and as the yardstick for description-length bounds in internal/bounded.
+//
+// All encodings are injective: distinct inputs produce distinct outputs, and
+// every output decodes back to the original input. Tuple encoding is escape
+// based: '\' escapes itself and the separator '|', so arbitrary component
+// strings round-trip.
+package codec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// sep separates tuple components; esc escapes sep and itself.
+const (
+	sep = '|'
+	esc = '\\'
+)
+
+// EncodeTuple encodes an ordered sequence of strings into a single string.
+// The encoding is injective over [][]string: EncodeTuple(a) == EncodeTuple(b)
+// implies len(a) == len(b) and a[i] == b[i] for all i. The empty tuple
+// encodes to "()" to keep it distinct from the singleton empty string.
+func EncodeTuple(parts []string) string {
+	if len(parts) == 0 {
+		return "()"
+	}
+	var b strings.Builder
+	// Reserve room for the common case of no escapes.
+	n := len(parts)
+	for _, p := range parts {
+		n += len(p)
+	}
+	b.Grow(n)
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte(sep)
+		}
+		for j := 0; j < len(p); j++ {
+			c := p[j]
+			if c == sep || c == esc {
+				b.WriteByte(esc)
+			}
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// DecodeTuple reverses EncodeTuple. It returns an error if s is not a valid
+// tuple encoding (dangling escape).
+func DecodeTuple(s string) ([]string, error) {
+	if s == "()" {
+		return nil, nil
+	}
+	parts := []string{}
+	var cur strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case esc:
+			i++
+			if i >= len(s) {
+				return nil, fmt.Errorf("codec: dangling escape in %q", s)
+			}
+			cur.WriteByte(s[i])
+		case sep:
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	parts = append(parts, cur.String())
+	return parts, nil
+}
+
+// MustDecodeTuple is DecodeTuple for encodings produced by this package; it
+// panics on malformed input, which indicates a caller bug.
+func MustDecodeTuple(s string) []string {
+	parts, err := DecodeTuple(s)
+	if err != nil {
+		panic(err)
+	}
+	return parts
+}
+
+// EncodeTagged encodes a tagged value: an identifying tag plus a payload
+// tuple. Used for states of wrapper automata (hidden, renamed, dummy) so
+// their state spaces never collide with those of the wrapped automata.
+func EncodeTagged(tag string, parts ...string) string {
+	all := make([]string, 0, len(parts)+1)
+	all = append(all, "#"+tag)
+	all = append(all, parts...)
+	return EncodeTuple(all)
+}
+
+// DecodeTagged reverses EncodeTagged, returning the tag and payload parts.
+func DecodeTagged(s string) (tag string, parts []string, err error) {
+	all, err := DecodeTuple(s)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(all) == 0 || !strings.HasPrefix(all[0], "#") {
+		return "", nil, fmt.Errorf("codec: %q is not a tagged encoding", s)
+	}
+	return all[0][1:], all[1:], nil
+}
+
+// EncodeSortedSet encodes an unordered collection of strings canonically by
+// sorting a copy first, so two sets with equal elements encode identically.
+func EncodeSortedSet(elems []string) string {
+	cp := append([]string(nil), elems...)
+	sort.Strings(cp)
+	return EncodeTuple(cp)
+}
+
+// EncodePairs encodes a string→string map canonically (sorted by key). Each
+// entry becomes a 2-tuple; the whole map is a tuple of entry encodings.
+func EncodePairs(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	entries := make([]string, len(keys))
+	for i, k := range keys {
+		entries[i] = EncodeTuple([]string{k, m[k]})
+	}
+	return EncodeTuple(entries)
+}
+
+// DecodePairs reverses EncodePairs.
+func DecodePairs(s string) (map[string]string, error) {
+	entries, err := DecodeTuple(s)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string, len(entries))
+	for _, e := range entries {
+		kv, err := DecodeTuple(e)
+		if err != nil {
+			return nil, err
+		}
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("codec: pair entry %q has %d parts, want 2", e, len(kv))
+		}
+		m[kv[0]] = kv[1]
+	}
+	return m, nil
+}
+
+// BitLen reports the length in bits of the canonical representation of s,
+// the quantity bounded by the paper's b-time-bounded definitions (Def 4.1
+// item 1: "the length of the bit-string representation ... is at most b").
+func BitLen(s string) int { return 8 * len(s) }

@@ -1,0 +1,193 @@
+package codec
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeTupleRoundTrip(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{""},
+		{"a"},
+		{"a", "b"},
+		{"a|b", "c\\d"},
+		{"", ""},
+		{"()", "()"},
+		{"|", "\\", "|\\|"},
+		{"state with spaces", "ütf-8 ✓"},
+	}
+	for _, in := range cases {
+		enc := EncodeTuple(in)
+		out, err := DecodeTuple(enc)
+		if err != nil {
+			t.Fatalf("DecodeTuple(%q): %v", enc, err)
+		}
+		if len(in) == 0 && len(out) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip %v -> %q -> %v", in, enc, out)
+		}
+	}
+}
+
+func TestEncodeTupleInjective(t *testing.T) {
+	pairs := [][2][]string{
+		{{"a", "b"}, {"a|b"}},
+		{{"a", ""}, {"a"}},
+		{{"", "a"}, {"a"}},
+		{{"\\"}, {"\\\\"}},
+		{{}, {""}},
+		{{"x", "y", "z"}, {"x", "y|z"}},
+	}
+	for _, p := range pairs {
+		if EncodeTuple(p[0]) == EncodeTuple(p[1]) {
+			t.Errorf("collision: %v and %v both encode to %q", p[0], p[1], EncodeTuple(p[0]))
+		}
+	}
+}
+
+func TestEncodeTupleRoundTripQuick(t *testing.T) {
+	prop := func(parts []string) bool {
+		enc := EncodeTuple(parts)
+		out, err := DecodeTuple(enc)
+		if err != nil {
+			return false
+		}
+		if len(parts) == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(parts, out)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeTupleInjectiveQuick(t *testing.T) {
+	prop := func(a, b []string) bool {
+		ea, eb := EncodeTuple(a), EncodeTuple(b)
+		if reflect.DeepEqual(a, b) || (len(a) == 0 && len(b) == 0) {
+			return ea == eb
+		}
+		return ea != eb
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTupleErrors(t *testing.T) {
+	if _, err := DecodeTuple("abc\\"); err == nil {
+		t.Error("expected error for dangling escape")
+	}
+}
+
+func TestMustDecodeTuplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on malformed input")
+		}
+	}()
+	MustDecodeTuple("bad\\")
+}
+
+func TestEncodeTagged(t *testing.T) {
+	enc := EncodeTagged("hide", "q0", "q1")
+	tag, parts, err := DecodeTagged(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != "hide" || !reflect.DeepEqual(parts, []string{"q0", "q1"}) {
+		t.Errorf("got tag=%q parts=%v", tag, parts)
+	}
+}
+
+func TestDecodeTaggedErrors(t *testing.T) {
+	if _, _, err := DecodeTagged(EncodeTuple([]string{"notag"})); err == nil {
+		t.Error("expected error for untagged input")
+	}
+	if _, _, err := DecodeTagged("x\\"); err == nil {
+		t.Error("expected error for malformed input")
+	}
+}
+
+func TestEncodeSortedSetCanonical(t *testing.T) {
+	a := EncodeSortedSet([]string{"b", "a", "c"})
+	b := EncodeSortedSet([]string{"c", "b", "a"})
+	if a != b {
+		t.Errorf("set encodings differ: %q vs %q", a, b)
+	}
+	if EncodeSortedSet(nil) != EncodeTuple(nil) {
+		t.Error("empty set should encode like empty tuple")
+	}
+}
+
+func TestEncodeSortedSetDoesNotMutate(t *testing.T) {
+	in := []string{"b", "a"}
+	EncodeSortedSet(in)
+	if in[0] != "b" || in[1] != "a" {
+		t.Error("EncodeSortedSet mutated its input")
+	}
+}
+
+func TestEncodePairsRoundTrip(t *testing.T) {
+	m := map[string]string{"A1": "q|0", "A2": "s\\1", "": "empty-key-value"}
+	enc := EncodePairs(m)
+	out, err := DecodePairs(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, out) {
+		t.Errorf("round trip mismatch: %v -> %v", m, out)
+	}
+}
+
+func TestEncodePairsCanonical(t *testing.T) {
+	// Maps iterate in random order; encoding must not depend on it.
+	m := map[string]string{"x": "1", "y": "2", "z": "3", "w": "4"}
+	first := EncodePairs(m)
+	for i := 0; i < 20; i++ {
+		if EncodePairs(m) != first {
+			t.Fatal("EncodePairs is not deterministic")
+		}
+	}
+}
+
+func TestEncodePairsRoundTripQuick(t *testing.T) {
+	prop := func(m map[string]string) bool {
+		out, err := DecodePairs(EncodePairs(m))
+		if err != nil {
+			return false
+		}
+		if len(m) == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(m, out)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodePairsErrors(t *testing.T) {
+	if _, err := DecodePairs("x\\"); err == nil {
+		t.Error("expected error for malformed outer tuple")
+	}
+	// A tuple whose entry is not a 2-tuple.
+	bad := EncodeTuple([]string{EncodeTuple([]string{"only-one"})})
+	if _, err := DecodePairs(bad); err == nil {
+		t.Error("expected error for non-pair entry")
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	if got := BitLen("abcd"); got != 32 {
+		t.Errorf("BitLen(abcd) = %d, want 32", got)
+	}
+	if got := BitLen(""); got != 0 {
+		t.Errorf("BitLen(\"\") = %d, want 0", got)
+	}
+}

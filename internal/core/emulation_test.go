@@ -1,0 +1,257 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/insight"
+	"repro/internal/protocols/channel"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/structured"
+)
+
+// chanSchema is the scheduler schema for channel-protocol emulation checks:
+// run-to-completion strategies with different adversary timing. The prefix
+// templates rank actions; unmatched actions are never scheduled.
+func chanSchema() sched.Schema {
+	return &sched.PrefixPrioritySchema{Templates: [][]string{
+		// Deliver as soon as possible, adversary observes along the way.
+		{"send", "encrypt", "tap", "notify", "fabricate", "g_tap", "guess", "deliver"},
+		// Adversary finishes its announcement before delivery.
+		{"send", "encrypt", "tap", "notify", "fabricate", "g_tap", "guess", "deliver", "g_block", "block"},
+		// Adversary blocks before delivery can happen (the g_ prefixes cover
+		// the simulator-internal forwarding chain on the ideal side).
+		{"send", "encrypt", "tap", "notify", "fabricate", "g_tap", "g_block", "block", "guess", "deliver"},
+		// No adversary activity at all: deliver directly.
+		{"send", "encrypt", "tap", "notify", "deliver"},
+	}}
+}
+
+func chanOpts(eps float64, ids ...string) core.Options {
+	envs := make([]psioa.PSIOA, 0, 2*len(ids))
+	if len(ids) == 1 {
+		for m := 0; m < 2; m++ {
+			envs = append(envs, channel.Env(ids[0], m))
+		}
+	} else {
+		// Multi-instance worlds: one environment per message combination.
+		for m1 := 0; m1 < 2; m1++ {
+			for m2 := 0; m2 < 2; m2++ {
+				envs = append(envs, psioa.MustCompose(channel.Env(ids[0], m1), channel.Env(ids[1], m2)))
+			}
+		}
+	}
+	return core.Options{
+		Envs:    envs,
+		Schema:  chanSchema(),
+		Insight: insight.Trace(),
+		Eps:     eps,
+		Q1:      8 * len(ids),
+		Q2:      8 * len(ids),
+	}
+}
+
+func TestSecureEmulationOTP(t *testing.T) {
+	// E7 headline: the perfect OTP channel securely emulates the ideal
+	// secure channel with ε = 0, for both the eavesdropper and the blocker.
+	real := channel.Real("x")
+	ideal := channel.Ideal("x")
+	cases := []core.AdvSim{
+		{Adv: channel.Eavesdropper("x"), Sim: channel.SimFor("x")},
+		{Adv: channel.Blocker("x"), Sim: channel.BlockerSim("x")},
+	}
+	rep, err := core.SecureEmulates(real, ideal, cases, chanOpts(0, "x"), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("OTP secure emulation failed:\n%s", rep)
+	}
+}
+
+func TestSecureEmulationLeakyFails(t *testing.T) {
+	// A substantially leaky channel does NOT securely emulate the ideal
+	// channel at ε = 0: the eavesdropper's announcement correlates with the
+	// message.
+	real := channel.LeakyReal("x", 0.5)
+	ideal := channel.Ideal("x")
+	cases := []core.AdvSim{{Adv: channel.Eavesdropper("x"), Sim: channel.SimFor("x")}}
+	rep, err := core.SecureEmulates(real, ideal, cases, chanOpts(0, "x"), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds {
+		t.Error("leaky channel accepted at ε=0")
+	}
+	// At ε = leak/2 = 0.25 the simulator is good enough.
+	rep, err = core.SecureEmulates(real, ideal, cases, chanOpts(0.25, "x"), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("leaky channel rejected at ε=0.25:\n%s", rep)
+	}
+}
+
+func TestSecureEmulationRejectsBadAdversary(t *testing.T) {
+	real := channel.Real("x")
+	ideal := channel.Ideal("x")
+	// An "adversary" that listens to the environment interface is rejected
+	// up front.
+	nosy := psioa.NewBuilder("nosy", "n0").
+		AddState("n0", psioa.NewSignature(
+			[]psioa.Action{channel.Deliver("x", 0), channel.Tap("x", 0), channel.Tap("x", 1)},
+			[]psioa.Action{channel.Block("x")}, nil)).
+		AddDet("n0", channel.Deliver("x", 0), "n0").
+		AddDet("n0", channel.Tap("x", 0), "n0").
+		AddDet("n0", channel.Tap("x", 1), "n0").
+		AddDet("n0", channel.Block("x"), "n0").
+		MustBuild()
+	_, err := core.SecureEmulates(real, ideal, []core.AdvSim{{Adv: nosy, Sim: channel.SimFor("x")}}, chanOpts(0, "x"), 50000)
+	if err == nil {
+		t.Error("environment-touching adversary accepted")
+	}
+}
+
+func TestHideAAct(t *testing.T) {
+	real := channel.Real("x")
+	h, err := core.HideAAct(real, channel.Eavesdropper("x"), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := psioa.Explore(h, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hiding moves outputs to internal (Def 2.6); adversary actions must
+	// never appear as outputs of the hidden composition.
+	for _, q := range ex.States {
+		sig := h.Sig(q)
+		for _, a := range []psioa.Action{channel.Tap("x", 0), channel.Tap("x", 1), channel.Block("x")} {
+			if sig.Out.Has(a) {
+				t.Fatalf("adversary action %q still an output at %q", a, q)
+			}
+		}
+	}
+}
+
+func TestComposedSimulatorConstruction(t *testing.T) {
+	// The syntactic shape of Theorem 4.30's simulator: renamed adversary
+	// composed with the dummy simulators, fresh names hidden.
+	g := channel.G("a")
+	for k, v := range channel.G("b") {
+		g[k] = v
+	}
+	adv := psioa.MustCompose(channel.Eavesdropper("a"), channel.Eavesdropper("b"))
+	sim, err := core.ComposedSimulator(g, []psioa.PSIOA{channel.DummySim("a"), channel.DummySim("b")}, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := psioa.Validate(sim, 100000); err != nil {
+		t.Fatalf("composed simulator invalid: %v", err)
+	}
+	// The fresh g-names are hidden: not external anywhere reachable.
+	ex, err := psioa.Explore(sim, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range ex.States {
+		sig := sim.Sig(q)
+		for _, fresh := range g {
+			if sig.Out.Has(fresh) {
+				t.Fatalf("fresh action %q visible at %q", fresh, q)
+			}
+		}
+	}
+}
+
+func TestDummyOf(t *testing.T) {
+	real := channel.Real("x")
+	d, err := core.DummyOf(real, channel.G("x"), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := psioa.Validate(d, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Interface().AI.Equal(psioa.NewActionSet(channel.Block("x"))) {
+		t.Errorf("dummy AI = %v", d.Interface().AI)
+	}
+}
+
+func TestPerComponentDummySimulation(t *testing.T) {
+	// The premise of Theorem 4.30's proof: for each component,
+	// hide(Real‖Dummy, AAct_real) ≤ hide(Ideal‖DSim, AAct_ideal) with ε=0.
+	real := channel.Real("x")
+	ideal := channel.Ideal("x")
+	dum, err := core.DummyOf(real, channel.G("x"), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := core.HideAAct(real, dum, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := core.HideAAct(ideal, channel.DummySim("x"), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schedulers drive the g-named interface: the environment-facing trace
+	// must be indistinguishable. The g_tap/g_block actions are outputs of
+	// the hidden systems (dummy side) — external on both sides.
+	schema := &sched.PrefixPrioritySchema{Templates: [][]string{
+		{"send", "encrypt", "tap", "notify", "fabricate", "g_tap", "deliver"},
+		{"send", "encrypt", "tap", "notify", "fabricate", "g_tap", "g_block", "block", "deliver"},
+		{"send", "deliver"},
+	}}
+	rep, err := core.Implements(left, right, core.Options{
+		Envs:    []psioa.PSIOA{channel.Env("x", 0), channel.Env("x", 1)},
+		Schema:  schema,
+		Insight: insight.Trace(),
+		Eps:     0,
+		Q1:      10, Q2: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("per-component dummy simulation failed: %s", rep)
+		for _, f := range rep.Failures() {
+			t.Logf("  failure: %+v", f)
+		}
+	}
+}
+
+func TestSecureEmulationComposition(t *testing.T) {
+	// E8: Theorem 4.30 end-to-end on two channel instances. The composed
+	// real system with a composed adversary is simulated by the simulator
+	// *constructed* from the per-component dummy simulators.
+	realHat := structured.MustCompose(channel.Real("a"), channel.Real("b"))
+	idealHat := structured.MustCompose(channel.Ideal("a"), channel.Ideal("b"))
+	g := channel.G("a")
+	for k, v := range channel.G("b") {
+		g[k] = v
+	}
+	adv := psioa.MustCompose(channel.Eavesdropper("a"), channel.Eavesdropper("b"))
+	sim, err := core.ComposedSimulator(g, []psioa.PSIOA{channel.DummySim("a"), channel.DummySim("b")}, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exploration limit truncates the (large) ideal‖simulator product;
+	// the adversary predicate and AAct computation are exact on the real
+	// side and prefix-verified on the ideal side.
+	opts := chanOpts(0, "a", "b")
+	rep, err := core.SecureEmulates(realHat, idealHat, []core.AdvSim{{Adv: adv, Sim: sim}}, opts, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("composed secure emulation failed:\n%s", rep)
+		for _, r := range rep.PerAdv {
+			for _, f := range r.Failures() {
+				t.Logf("  failure: %+v", f)
+			}
+		}
+	}
+}

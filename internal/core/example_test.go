@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/insight"
+	"repro/internal/protocols/channel"
+	"repro/internal/protocols/coin"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+)
+
+// ExampleImplements decides the approximate implementation relation
+// (Def 4.12) between a biased coin and the fair coin: the measured distance
+// is exactly the bias offset.
+func ExampleImplements() {
+	biased := coin.Flipper("x", 0.5+0.125)
+	fair := coin.Fair("x")
+	rep, err := core.Implements(biased, fair, core.Options{
+		Envs:    []psioa.PSIOA{coin.Env("x")},
+		Schema:  &sched.ObliviousSchema{},
+		Insight: insight.Trace(),
+		Eps:     0.125,
+		Q1:      3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("holds=%v distance=%v\n", rep.Holds, rep.MaxDist)
+	// Output:
+	// holds=true distance=0.125
+}
+
+// ExampleSecureEmulates checks dynamic secure emulation (Def 4.26): the
+// one-time-pad channel with its eavesdropper is perfectly simulated against
+// the ideal channel.
+func ExampleSecureEmulates() {
+	rep, err := core.SecureEmulates(channel.Real("x"), channel.Ideal("x"),
+		[]core.AdvSim{{Adv: channel.Eavesdropper("x"), Sim: channel.SimFor("x")}},
+		core.Options{
+			Envs: []psioa.PSIOA{channel.Env("x", 0), channel.Env("x", 1)},
+			Schema: &sched.PrefixPrioritySchema{Templates: [][]string{
+				{"send", "encrypt", "tap", "notify", "fabricate", "g_tap", "guess", "deliver"},
+			}},
+			Insight: insight.Trace(),
+			Eps:     0,
+			Q1:      8,
+		}, 50000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.Holds)
+	// Output:
+	// true
+}
+
+// ExampleComposeWitnesses chains constructive witnesses along transitivity
+// (Theorem 4.16): the measured ε₁₃ is exactly ε₁₂ + ε₂₃.
+func ExampleComposeWitnesses() {
+	delta := 0.0625
+	a1 := coin.Flipper("x", 0.5+2*delta)
+	a2 := coin.Flipper("x", 0.5+delta)
+	a3 := coin.Fair("x")
+	w13 := core.ComposeWitnesses(a2, core.IdentityWitness(), core.IdentityWitness())
+	rep, err := core.ImplementsWitness(a1, a3, w13, core.Options{
+		Envs:    []psioa.PSIOA{coin.Env("x")},
+		Schema:  &sched.ObliviousSchema{},
+		Insight: insight.Trace(),
+		Eps:     2 * delta,
+		Q1:      3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("holds=%v ε13=%v\n", rep.Holds, rep.MaxDist)
+	// Output:
+	// holds=true ε13=0.125
+}

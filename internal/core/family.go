@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bounded"
+	"repro/internal/psioa"
+)
+
+// FamilyOptions configures a family-level implementation check
+// (Def 4.12's family form): per-index environments, bounds and tolerance.
+type FamilyOptions struct {
+	// OptionsFor returns the per-index check options; Eps should follow
+	// ε(k), Q1/Q2 the polynomial bounds q₁(k), q₂(k).
+	OptionsFor func(k int) Options
+	// Kmin and Kmax delimit the checked range of the security parameter.
+	Kmin, Kmax int
+}
+
+// FamilyReport records per-index implementation reports.
+type FamilyReport struct {
+	// Holds reports whether every index passed.
+	Holds bool
+	// PerK maps the security parameter to its report.
+	PerK map[int]*Report
+}
+
+// MaxDistFn returns k ↦ MaxDist(k), for comparison against a negligible
+// function.
+func (r *FamilyReport) MaxDistFn() bounded.Fn {
+	return func(k int) float64 {
+		if rep, ok := r.PerK[k]; ok {
+			return rep.MaxDist
+		}
+		return 0
+	}
+}
+
+// String summarises the report.
+func (r *FamilyReport) String() string {
+	return fmt.Sprintf("family holds=%v indices=%d", r.Holds, len(r.PerK))
+}
+
+// FamilyImplements checks A_k ≤^{Sch,f}_{q1(k),q2(k),ε(k)} B_k for every k
+// in [Kmin, Kmax] (Def 4.12 extended to families).
+func FamilyImplements(fa, fb bounded.Family, fopt FamilyOptions) (*FamilyReport, error) {
+	out := &FamilyReport{Holds: true, PerK: make(map[int]*Report)}
+	for k := fopt.Kmin; k <= fopt.Kmax; k++ {
+		rep, err := Implements(fa(k), fb(k), fopt.OptionsFor(k))
+		if err != nil {
+			return nil, fmt.Errorf("core: family index %d: %w", k, err)
+		}
+		out.PerK[k] = rep
+		if !rep.Holds {
+			out.Holds = false
+		}
+	}
+	return out, nil
+}
+
+// FamilyImplementsWitness is FamilyImplements with per-index constructive
+// witnesses.
+func FamilyImplementsWitness(fa, fb bounded.Family, w func(k int) Witness, fopt FamilyOptions) (*FamilyReport, error) {
+	out := &FamilyReport{Holds: true, PerK: make(map[int]*Report)}
+	for k := fopt.Kmin; k <= fopt.Kmax; k++ {
+		rep, err := ImplementsWitness(fa(k), fb(k), w(k), fopt.OptionsFor(k))
+		if err != nil {
+			return nil, fmt.Errorf("core: family index %d: %w", k, err)
+		}
+		out.PerK[k] = rep
+		if !rep.Holds {
+			out.Holds = false
+		}
+	}
+	return out, nil
+}
+
+// NegPt checks the ≤_{neg,pt} form on a finite range: the family check must
+// hold with a tolerance ε(k) that is dominated by the given negligible
+// function, i.e. the measured per-index distances satisfy
+// MaxDist(k) ≤ negl(k) for all k in range.
+func NegPt(rep *FamilyReport, negl bounded.Fn, kmin, kmax int) error {
+	if !rep.Holds {
+		return fmt.Errorf("core: family relation does not hold")
+	}
+	for k := kmin; k <= kmax; k++ {
+		r, ok := rep.PerK[k]
+		if !ok {
+			continue
+		}
+		if r.MaxDist > negl(k)+1e-12 {
+			return fmt.Errorf("core: index %d: distance %v exceeds negligible bound %v", k, r.MaxDist, negl(k))
+		}
+	}
+	return nil
+}
+
+// ContextFamily lifts a family pointwise into a context (Lemma 4.14 /
+// Theorem 4.15): (A₃‖A)_k = A₃_k ‖ A_k.
+func ContextFamily(ctx, f bounded.Family) bounded.Family {
+	return func(k int) psioa.PSIOA {
+		return psioa.MustCompose(ctx(k), f(k))
+	}
+}

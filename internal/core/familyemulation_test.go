@@ -1,0 +1,123 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bounded"
+	"repro/internal/core"
+	"repro/internal/insight"
+	"repro/internal/protocols/channel"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/structured"
+)
+
+// leakyFamily is the channel family whose pad breaks with probability 2^-k:
+// the emulation error against the ideal channel is exactly 2^-(k+1).
+func leakyFamily() core.SFamily {
+	return func(k int) structured.SPSIOA {
+		return channel.LeakyReal("x", bounded.Negl(2)(k))
+	}
+}
+
+func idealFamily() core.SFamily {
+	return func(k int) structured.SPSIOA { return channel.Ideal("x") }
+}
+
+func famOpts(k int) core.Options {
+	return core.Options{
+		Envs: []psioa.PSIOA{channel.Env("x", 0), channel.Env("x", 1)},
+		Schema: &sched.PrefixPrioritySchema{Templates: [][]string{
+			{"send", "encrypt", "tap", "notify", "fabricate", "g_tap", "guess", "deliver"},
+			{"send", "encrypt", "tap", "notify", "deliver"},
+		}},
+		Insight: insight.Trace(),
+		Eps:     bounded.Negl(2)(k) / 2,
+		Q1:      8, Q2: 8,
+	}
+}
+
+func eavesCases() []core.AdvSimFamily {
+	return []core.AdvSimFamily{{
+		Adv: func(k int) psioa.PSIOA { return channel.Eavesdropper("x") },
+		Sim: func(k int) psioa.PSIOA { return channel.SimFor("x") },
+	}}
+}
+
+func TestSecureEmulatesFamilyCalibrated(t *testing.T) {
+	rep, err := core.SecureEmulatesFamily(leakyFamily(), idealFamily(), eavesCases(), famOpts, 1, 6, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Fatalf("family emulation failed: %s", rep)
+	}
+	// Measured distances are exactly 2^-(k+1).
+	f := rep.MaxDistFn()
+	for k := 1; k <= 6; k++ {
+		want := math.Pow(2, -float64(k+1))
+		if math.Abs(f(k)-want) > 1e-9 {
+			t.Errorf("k=%d: distance = %v, want %v", k, f(k), want)
+		}
+	}
+	if f(99) != 0 {
+		t.Error("out-of-range index should report 0")
+	}
+	// ≤_{neg,pt}: dominated by 2^-k but not by 4^-k.
+	if err := core.NegPtEmulation(rep, bounded.Negl(2), 1, 6); err != nil {
+		t.Errorf("NegPt(2^-k) failed: %v", err)
+	}
+	if err := core.NegPtEmulation(rep, bounded.Negl(4), 1, 6); err == nil {
+		t.Error("NegPt(4^-k) should fail")
+	}
+}
+
+func TestSecureEmulatesFamilyFailurePropagates(t *testing.T) {
+	// Too-tight tolerance at every index: the family check must fail and
+	// NegPtEmulation must report it.
+	tight := func(k int) core.Options {
+		o := famOpts(k)
+		o.Eps = 0
+		return o
+	}
+	rep, err := core.SecureEmulatesFamily(leakyFamily(), idealFamily(), eavesCases(), tight, 1, 2, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds {
+		t.Error("tight family emulation accepted")
+	}
+	if err := core.NegPtEmulation(rep, bounded.Negl(2), 1, 2); err == nil {
+		t.Error("NegPtEmulation accepted a failing family")
+	}
+}
+
+func TestSecureEmulatesFamilyWithWitness(t *testing.T) {
+	templates := [][]string{{"send", "encrypt", "tap", "notify", "fabricate", "g_tap", "guess", "deliver"}}
+	cases := []core.AdvSimFamily{{
+		Adv: func(k int) psioa.PSIOA { return channel.Eavesdropper("x") },
+		Sim: func(k int) psioa.PSIOA { return channel.SimFor("x") },
+		Witness: func(k int) core.Witness {
+			return func(env psioa.PSIOA, wa *psioa.Product, s1 sched.Scheduler, wb *psioa.Product) sched.Scheduler {
+				ss, err := (&sched.PrefixPrioritySchema{Templates: templates}).Enumerate(wb, 8)
+				if err != nil {
+					panic(err)
+				}
+				return ss[0]
+			}
+		},
+	}}
+	opt := func(k int) core.Options {
+		o := famOpts(k)
+		o.Schema = &sched.PrefixPrioritySchema{Templates: templates}
+		return o
+	}
+	rep, err := core.SecureEmulatesFamily(leakyFamily(), idealFamily(), cases, opt, 1, 3, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("witnessed family emulation failed: %s", rep)
+	}
+}

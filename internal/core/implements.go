@@ -1,0 +1,266 @@
+// Package core implements the paper's primary contribution: the approximate
+// implementation relation extended to bounded dynamic settings (Def 4.12),
+// its transitivity (Theorem 4.16) and composability (Lemmas 4.13–4.14,
+// Theorem 4.15), and composable dynamic secure emulation (Def 4.26,
+// Theorem 4.30) with the dummy-adversary reduction of Lemma 4.29.
+//
+// The relation A ≤^{Sch,f}_{p,q1,q2,ε} B quantifies over all p-bounded
+// environments and q₁-bounded schedulers: "for every σ there exists a
+// q₂-bounded σ′ with σ S^{≤ε}_{E,f} σ′". Two executable renderings are
+// provided:
+//
+//   - Implements: exhaustive search over an enumerable scheduler schema —
+//     exact on finite instances, the analogue of model checking;
+//   - ImplementsWitness: a constructive witness σ ↦ σ′ is supplied (as the
+//     paper's proofs do) and only the balance condition is verified.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/insight"
+	"repro/internal/measure"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+)
+
+// Options configures an implementation-relation check.
+type Options struct {
+	// Envs is the set of environments to quantify over (the executable
+	// stand-in for "every p-bounded environment"; see DESIGN.md §2).
+	Envs []psioa.PSIOA
+	// Schema enumerates the candidate schedulers (Sch of Def 4.12).
+	Schema sched.Schema
+	// Insight is the insight function f.
+	Insight insight.Insight
+	// Eps is the tolerance ε.
+	Eps float64
+	// Q1 and Q2 bound the schedulers of the left and right systems
+	// (Def 4.12's q₁, q₂). Q2 defaults to Q1 when zero.
+	Q1, Q2 int
+	// MaxDepth guards exact measure expansion; defaults to max(Q1,Q2).
+	MaxDepth int
+}
+
+func (o Options) q2() int {
+	if o.Q2 == 0 {
+		return o.Q1
+	}
+	return o.Q2
+}
+
+func (o Options) depth() int {
+	if o.MaxDepth == 0 {
+		d := o.Q1
+		if o.q2() > d {
+			d = o.q2()
+		}
+		return d
+	}
+	return o.MaxDepth
+}
+
+// PairResult records the outcome for one (environment, scheduler) pair.
+type PairResult struct {
+	// Env and Sched identify the environment and left scheduler.
+	Env, Sched string
+	// Matched is the name of the right scheduler achieving the best
+	// balance (empty if none was found below ε).
+	Matched string
+	// Dist is the best achieved Def 3.6 distance.
+	Dist float64
+	// OK reports whether Dist ≤ ε.
+	OK bool
+}
+
+// Report is the outcome of an implementation-relation check.
+type Report struct {
+	// Holds reports whether the relation held for every pair.
+	Holds bool
+	// MaxDist is the largest best-achievable distance over all pairs — the
+	// empirical ε of the instance.
+	MaxDist float64
+	// Pairs holds the per-(environment, scheduler) outcomes.
+	Pairs []PairResult
+}
+
+// Failures returns the pairs for which no balanced scheduler was found.
+func (r *Report) Failures() []PairResult {
+	var out []PairResult
+	for _, p := range r.Pairs {
+		if !p.OK {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// String summarises the report.
+func (r *Report) String() string {
+	return fmt.Sprintf("holds=%v pairs=%d failures=%d maxDist=%.6g", r.Holds, len(r.Pairs), len(r.Failures()), r.MaxDist)
+}
+
+// Implements checks A ≤^{Sch,f}_{q1,q2,ε} B exhaustively: for every
+// environment E in opt.Envs and every q₁-bounded σ enumerated by the schema
+// on E‖A, it searches the schema's q₂-bounded schedulers on E‖B for one
+// balanced within ε (Def 4.12). Environments must be partially compatible
+// with both A and B.
+func Implements(a, b psioa.PSIOA, opt Options) (*Report, error) {
+	rep := &Report{Holds: true}
+	for _, env := range opt.Envs {
+		wa, err := psioa.Compose(env, a)
+		if err != nil {
+			return nil, err
+		}
+		wb, err := psioa.Compose(env, b)
+		if err != nil {
+			return nil, err
+		}
+		left, err := opt.Schema.Enumerate(wa, opt.Q1)
+		if err != nil {
+			return nil, err
+		}
+		right, err := opt.Schema.Enumerate(wb, opt.q2())
+		if err != nil {
+			return nil, err
+		}
+		// Precompute the right-side perceptions once.
+		type rd struct {
+			name string
+			dist *measure.Dist[string]
+		}
+		rds := make([]rd, 0, len(right))
+		for _, s2 := range right {
+			d2, err := insight.FDist(wb, s2, opt.Insight, opt.depth())
+			if err != nil {
+				return nil, fmt.Errorf("core: right scheduler %s: %w", s2.Name(), err)
+			}
+			rds = append(rds, rd{s2.Name(), d2})
+		}
+		for _, s1 := range left {
+			d1, err := insight.FDist(wa, s1, opt.Insight, opt.depth())
+			if err != nil {
+				return nil, fmt.Errorf("core: left scheduler %s: %w", s1.Name(), err)
+			}
+			best := math.Inf(1)
+			bestName := ""
+			for _, r := range rds {
+				if d := insight.Distance(d1, r.dist); d < best {
+					best, bestName = d, r.name
+				}
+			}
+			pr := PairResult{
+				Env: env.ID(), Sched: s1.Name(),
+				Dist: best, OK: best <= opt.Eps+measure.Eps,
+			}
+			if pr.OK {
+				pr.Matched = bestName
+			} else {
+				rep.Holds = false
+			}
+			if best > rep.MaxDist && !math.IsInf(best, 1) {
+				rep.MaxDist = best
+			}
+			rep.Pairs = append(rep.Pairs, pr)
+		}
+	}
+	sort.Slice(rep.Pairs, func(i, j int) bool {
+		if rep.Pairs[i].Env != rep.Pairs[j].Env {
+			return rep.Pairs[i].Env < rep.Pairs[j].Env
+		}
+		return rep.Pairs[i].Sched < rep.Pairs[j].Sched
+	})
+	return rep, nil
+}
+
+// Witness maps a left scheduler to the right scheduler that matches it —
+// the constructive σ ↦ σ′ at the heart of every composability proof in the
+// paper. env is the environment, wa = E‖A and wb = E‖B.
+type Witness func(env psioa.PSIOA, wa *psioa.Product, s1 sched.Scheduler, wb *psioa.Product) sched.Scheduler
+
+// IdentityWitness returns σ itself — valid whenever E‖A and E‖B have the
+// same action alphabet and σ's decisions transfer verbatim (e.g. A and B
+// differ only in internal probabilities).
+func IdentityWitness() Witness {
+	return func(_ psioa.PSIOA, _ *psioa.Product, s1 sched.Scheduler, _ *psioa.Product) sched.Scheduler {
+		return s1
+	}
+}
+
+// ImplementsWitness checks the implementation relation with a constructive
+// witness: for every environment and every schema scheduler σ on E‖A, it
+// verifies σ S^{≤ε}_{E,f} w(σ).
+func ImplementsWitness(a, b psioa.PSIOA, w Witness, opt Options) (*Report, error) {
+	rep := &Report{Holds: true}
+	for _, env := range opt.Envs {
+		wa, err := psioa.Compose(env, a)
+		if err != nil {
+			return nil, err
+		}
+		wb, err := psioa.Compose(env, b)
+		if err != nil {
+			return nil, err
+		}
+		left, err := opt.Schema.Enumerate(wa, opt.Q1)
+		if err != nil {
+			return nil, err
+		}
+		for _, s1 := range left {
+			s2 := w(env, wa, s1, wb)
+			ok, dist, err := insight.Balanced(wa, s1, wb, s2, opt.Insight, opt.Eps, opt.depth())
+			if err != nil {
+				return nil, err
+			}
+			pr := PairResult{Env: env.ID(), Sched: s1.Name(), Matched: s2.Name(), Dist: dist, OK: ok}
+			if !ok {
+				rep.Holds = false
+			}
+			if dist > rep.MaxDist {
+				rep.MaxDist = dist
+			}
+			rep.Pairs = append(rep.Pairs, pr)
+		}
+	}
+	return rep, nil
+}
+
+// ComposeWitnesses chains witnesses along Theorem 4.16 (transitivity): from
+// witnesses for A₁ ≤ A₂ and A₂ ≤ A₃, build the witness for A₁ ≤ A₃ with
+// ε₁₃ = ε₁₂ + ε₂₃ (the triangle inequality of the Def 3.6 distance). a2 is
+// the middle automaton.
+func ComposeWitnesses(a2 psioa.PSIOA, w12, w23 Witness) Witness {
+	return func(env psioa.PSIOA, wa *psioa.Product, s1 sched.Scheduler, wc *psioa.Product) sched.Scheduler {
+		wb := psioa.MustCompose(env, a2)
+		s2 := w12(env, wa, s1, wb)
+		return w23(env, wb, s2, wc)
+	}
+}
+
+// ContextWitness lifts a witness for A₁ ≤ A₂ to a witness for
+// A₃‖A₁ ≤ A₃‖A₂, following the proof of Lemma 4.13: a scheduler of
+// E‖(A₃‖A₁) is literally a scheduler of (E‖A₃)‖A₁ because composition
+// flattens, so the witness is invoked with the extended environment E‖A₃.
+func ContextWitness(a3 psioa.PSIOA, w Witness) Witness {
+	return func(env psioa.PSIOA, wa *psioa.Product, s1 sched.Scheduler, wb *psioa.Product) sched.Scheduler {
+		e3 := psioa.MustCompose(env, a3)
+		return w(e3, wa, s1, wb)
+	}
+}
+
+// ComposeContext returns the options for checking A₃‖A₁ ≤ A₃‖A₂ given the
+// options used for A₁ ≤ A₂: every environment E is replaced by E (the
+// context A₃ travels with the systems), matching Lemma 4.13's statement
+// that E‖A₃ is a c_comp(p+p₃)-bounded environment for A₁ and A₂.
+func ComposeContext(a3 psioa.PSIOA, a1, a2 psioa.PSIOA) (left, right psioa.PSIOA, err error) {
+	l, err := psioa.Compose(a3, a1)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := psioa.Compose(a3, a2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}

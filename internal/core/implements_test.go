@@ -1,0 +1,297 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bounded"
+	"repro/internal/core"
+	"repro/internal/insight"
+	"repro/internal/protocols/coin"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+)
+
+// coinOpts returns check options for coin-protocol implementation checks:
+// the canonical coin environment and the exhaustive oblivious schema.
+func coinOpts(eps float64) core.Options {
+	return core.Options{
+		Envs:    []psioa.PSIOA{coin.Env("x")},
+		Schema:  &sched.ObliviousSchema{},
+		Insight: insight.Trace(),
+		Eps:     eps,
+		Q1:      3,
+		Q2:      3,
+	}
+}
+
+func TestImplementsReflexive(t *testing.T) {
+	a := coin.Fair("x")
+	b := coin.Fair("x")
+	rep, err := core.Implements(a, b, coinOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("A ≤ A failed: %s", rep)
+	}
+	if rep.MaxDist > 1e-9 {
+		t.Errorf("self-implementation distance = %v", rep.MaxDist)
+	}
+}
+
+func TestImplementsBiasedVsFair(t *testing.T) {
+	delta := 0.125
+	a := coin.Flipper("x", 0.5+delta)
+	b := coin.Fair("x")
+	// Holds at ε = δ.
+	rep, err := core.Implements(a, b, coinOpts(delta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("biased ≤_δ fair failed: %s", rep)
+	}
+	if math.Abs(rep.MaxDist-delta) > 1e-9 {
+		t.Errorf("MaxDist = %v, want exactly δ = %v", rep.MaxDist, delta)
+	}
+	// Fails at ε = δ/2.
+	rep, err = core.Implements(a, b, coinOpts(delta/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds {
+		t.Error("biased ≤_{δ/2} fair should fail")
+	}
+	if len(rep.Failures()) == 0 {
+		t.Error("no failures reported")
+	}
+}
+
+func TestImplementsWitnessIdentity(t *testing.T) {
+	delta := 0.25
+	a := coin.Flipper("x", 0.5+delta)
+	b := coin.Fair("x")
+	rep, err := core.ImplementsWitness(a, b, core.IdentityWitness(), coinOpts(delta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("identity witness failed: %s", rep)
+	}
+	if math.Abs(rep.MaxDist-delta) > 1e-9 {
+		t.Errorf("MaxDist = %v, want %v", rep.MaxDist, delta)
+	}
+}
+
+func TestTransitivityTheorem(t *testing.T) {
+	// Theorem 4.16: ε₁₃ = ε₁₂ + ε₂₃, realised exactly by the coin chain
+	// 0.5+2δ → 0.5+δ → 0.5.
+	delta := 0.0625
+	a1 := coin.Flipper("x", 0.5+2*delta)
+	a2 := coin.Flipper("x", 0.5+delta)
+	a3 := coin.Fair("x")
+
+	r12, err := core.ImplementsWitness(a1, a2, core.IdentityWitness(), coinOpts(delta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r23, err := core.ImplementsWitness(a2, a3, core.IdentityWitness(), coinOpts(delta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r12.Holds || !r23.Holds {
+		t.Fatalf("premises failed: %s / %s", r12, r23)
+	}
+	w13 := core.ComposeWitnesses(a2, core.IdentityWitness(), core.IdentityWitness())
+	r13, err := core.ImplementsWitness(a1, a3, w13, coinOpts(2*delta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r13.Holds {
+		t.Errorf("transitivity conclusion failed: %s", r13)
+	}
+	if math.Abs(r13.MaxDist-2*delta) > 1e-9 {
+		t.Errorf("ε₁₃ = %v, want exactly ε₁₂+ε₂₃ = %v", r13.MaxDist, 2*delta)
+	}
+	// Triangle inequality is tight here: ε < 2δ fails.
+	r13tight, err := core.ImplementsWitness(a1, a3, w13, coinOpts(1.9*delta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r13tight.Holds {
+		t.Error("ε₁₃ < ε₁₂+ε₂₃ should fail on this chain")
+	}
+}
+
+func TestComposabilityLemma(t *testing.T) {
+	// Lemma 4.13: A₁ ≤ A₂ (checked against the extended environment E‖A₃)
+	// implies A₃‖A₁ ≤ A₃‖A₂ (checked against E), with the same ε. Because
+	// composition flattens, the two checks quantify over literally the same
+	// automata, which is the content of the lemma's proof.
+	delta := 0.125
+	a1 := coin.Flipper("x", 0.5+delta)
+	a2 := coin.Fair("x")
+	a3 := coin.Fair("y") // independent context
+	env := coin.Env("x")
+
+	// Premise: A₁ ≤ A₂ w.r.t. the extended environment E‖A₃.
+	extEnv := psioa.MustCompose(env, a3)
+	premise, err := core.Implements(a1, a2, core.Options{
+		Envs:    []psioa.PSIOA{extEnv},
+		Schema:  &sched.PrefixPrioritySchema{Templates: [][]string{{"flip_x", "result"}, {"result", "flip_x"}}},
+		Insight: insight.Trace(),
+		Eps:     delta,
+		Q1:      4, Q2: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !premise.Holds {
+		t.Fatalf("premise failed: %s", premise)
+	}
+
+	// Conclusion: A₃‖A₁ ≤ A₃‖A₂ w.r.t. E.
+	left, right, err := core.ComposeContext(a3, a1, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conclusion, err := core.Implements(left, right, core.Options{
+		Envs:    []psioa.PSIOA{env},
+		Schema:  &sched.PrefixPrioritySchema{Templates: [][]string{{"flip_x", "result"}, {"result", "flip_x"}}},
+		Insight: insight.Trace(),
+		Eps:     delta,
+		Q1:      4, Q2: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conclusion.Holds {
+		t.Errorf("Lemma 4.13 conclusion failed: %s", conclusion)
+	}
+	if math.Abs(conclusion.MaxDist-premise.MaxDist) > 1e-9 {
+		t.Errorf("context changed the distance: premise %v vs conclusion %v", premise.MaxDist, conclusion.MaxDist)
+	}
+}
+
+func TestContextWitness(t *testing.T) {
+	delta := 0.125
+	a1 := coin.Flipper("x", 0.5+delta)
+	a2 := coin.Fair("x")
+	a3 := coin.Fair("y")
+	left, right, err := core.ComposeContext(a3, a1, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := core.ContextWitness(a3, core.IdentityWitness())
+	rep, err := core.ImplementsWitness(left, right, w, core.Options{
+		Envs:    []psioa.PSIOA{coin.Env("x")},
+		Schema:  &sched.PrefixPrioritySchema{Templates: [][]string{{"flip_x", "result"}}},
+		Insight: insight.Trace(),
+		Eps:     delta,
+		Q1:      4, Q2: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("context witness failed: %s", rep)
+	}
+}
+
+func TestFamilyImplementsAndNegPt(t *testing.T) {
+	// Lemma 4.14 / Theorem 4.15 material: the leaky family implements the
+	// fair family with ε(k) = 2^−k.
+	fam := coin.Family("x")
+	fair := coin.FairFamily("x")
+	fopt := core.FamilyOptions{
+		Kmin: 1, Kmax: 6,
+		OptionsFor: func(k int) core.Options {
+			o := coinOpts(bounded.Negl(2)(k))
+			return o
+		},
+	}
+	rep, err := core.FamilyImplements(fam, fair, fopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Fatalf("family implementation failed: %s", rep)
+	}
+	// The measured distances are ≤ 2^−k...
+	if err := core.NegPt(rep, bounded.Negl(2), 1, 6); err != nil {
+		t.Errorf("NegPt(2^-k) failed: %v", err)
+	}
+	// ...but not ≤ 4^−k.
+	if err := core.NegPt(rep, bounded.Negl(4), 1, 6); err == nil {
+		t.Error("NegPt(4^-k) should fail")
+	}
+	// MaxDistFn exposes the measured curve.
+	f := rep.MaxDistFn()
+	if math.Abs(f(3)-0.125) > 1e-9 {
+		t.Errorf("MaxDistFn(3) = %v, want 0.125", f(3))
+	}
+	if f(99) != 0 {
+		t.Error("MaxDistFn outside range should be 0")
+	}
+}
+
+func TestFamilyComposability(t *testing.T) {
+	// Theorem 4.15: composing the family with a polynomial context
+	// preserves ≤_{neg,pt}.
+	ctx := bounded.Family(func(k int) psioa.PSIOA { return coin.Fair("y") })
+	fam := core.ContextFamily(ctx, coin.Family("x"))
+	fair := core.ContextFamily(ctx, coin.FairFamily("x"))
+	fopt := core.FamilyOptions{
+		Kmin: 1, Kmax: 5,
+		OptionsFor: func(k int) core.Options {
+			return core.Options{
+				Envs:    []psioa.PSIOA{coin.Env("x")},
+				Schema:  &sched.PrefixPrioritySchema{Templates: [][]string{{"flip_x", "result"}}},
+				Insight: insight.Trace(),
+				Eps:     bounded.Negl(2)(k),
+				Q1:      4, Q2: 4,
+			}
+		},
+	}
+	rep, err := core.FamilyImplements(fam, fair, fopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Fatalf("family composability failed: %s", rep)
+	}
+	if err := core.NegPt(rep, bounded.Negl(2), 1, 5); err != nil {
+		t.Errorf("NegPt after composition failed: %v", err)
+	}
+}
+
+func TestFamilyImplementsWitness(t *testing.T) {
+	fam := coin.Family("x")
+	fair := coin.FairFamily("x")
+	rep, err := core.FamilyImplementsWitness(fam, fair,
+		func(k int) core.Witness { return core.IdentityWitness() },
+		core.FamilyOptions{
+			Kmin: 1, Kmax: 4,
+			OptionsFor: func(k int) core.Options { return coinOpts(bounded.Negl(2)(k)) },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("witness family check failed: %s", rep)
+	}
+}
+
+func TestReportAccessors(t *testing.T) {
+	rep := &core.Report{Holds: false, Pairs: []core.PairResult{
+		{Env: "e", Sched: "s1", OK: true, Dist: 0.1},
+		{Env: "e", Sched: "s2", OK: false, Dist: 0.9},
+	}}
+	if got := rep.Failures(); len(got) != 1 || got[0].Sched != "s2" {
+		t.Errorf("Failures = %v", got)
+	}
+	if rep.String() == "" {
+		t.Error("empty String")
+	}
+}

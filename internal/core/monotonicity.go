@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pca"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+)
+
+// This file renders the monotonicity-w.r.t.-creation discussion of §4.4:
+// [7] shows that if PCA X_A and X_B differ only in that X_A dynamically
+// creates and destroys PSIOA A where X_B creates B, and A implements B,
+// then X_A implements X_B — *provided* the schedulers are
+// creation-oblivious. The paper keeps its scheduler model broad enough to
+// admit such a schema (§4.4, third bullet) so that the result can later be
+// lifted to secure emulation.
+
+// CheckCreationObliviousSchema verifies that every scheduler the schema
+// enumerates for the PCA is creation-oblivious in the masked-view sense:
+// its decisions factor through the view that hides the internal states of
+// dynamically created automata (everything outside base).
+func CheckCreationObliviousSchema(x pca.PCA, base []string, schema sched.Schema, bound, depth int) error {
+	ss, err := schema.Enumerate(x, bound)
+	if err != nil {
+		return err
+	}
+	view := pca.CreationMaskView(x, base)
+	for _, s := range ss {
+		if err := sched.FactorsThrough(x, s, view, depth); err != nil {
+			return fmt.Errorf("core: schema %q is not creation-oblivious on %q: %w", schema.Name(), x.ID(), err)
+		}
+	}
+	return nil
+}
+
+// MonotonicityReport is the outcome of a creation-monotonicity check.
+type MonotonicityReport struct {
+	// Child is the report for the created automata: A ≤ B.
+	Child *Report
+	// Host is the report for the hosts: X_A ≤ X_B.
+	Host *Report
+}
+
+// Holds reports whether both levels hold.
+func (r *MonotonicityReport) Holds() bool { return r.Child.Holds && r.Host.Holds }
+
+// String summarises the report.
+func (r *MonotonicityReport) String() string {
+	return fmt.Sprintf("child: %s\nhost:  %s", r.Child, r.Host)
+}
+
+// CreationMonotonicity checks the §4.4 scenario end to end:
+//
+//  1. the created automata satisfy childA ≤ childB under childOpt;
+//  2. the host schedulers are creation-oblivious (the schema of hostOpt
+//     factors through the creation mask on both hosts, with base the
+//     statically present automata);
+//  3. the hosts satisfy hostA ≤ hostB under hostOpt.
+//
+// It returns the two implementation reports; per [7], (1) and (2) should
+// entail (3), which the caller observes by Holds().
+func CreationMonotonicity(childA, childB psioa.PSIOA, hostA, hostB pca.PCA, base []string, childOpt, hostOpt Options) (*MonotonicityReport, error) {
+	childRep, err := Implements(childA, childB, childOpt)
+	if err != nil {
+		return nil, err
+	}
+	for _, x := range []pca.PCA{hostA, hostB} {
+		if err := CheckCreationObliviousSchema(x, base, hostOpt.Schema, hostOpt.Q1, hostOpt.depth()); err != nil {
+			return nil, err
+		}
+	}
+	hostRep, err := Implements(hostA, hostB, hostOpt)
+	if err != nil {
+		return nil, err
+	}
+	return &MonotonicityReport{Child: childRep, Host: hostRep}, nil
+}

@@ -1,0 +1,135 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/insight"
+	"repro/internal/protocols/ledger"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+)
+
+// ledgerSchema is a creation-oblivious schema for ledger hosts: off-line
+// action sequences driving the subchain lifecycle.
+func ledgerSchema(seqs ...[]psioa.Action) sched.Schema {
+	return &sched.FixedSchema{
+		ID: "ledger-sequences",
+		Default: func(a psioa.PSIOA, bound int) []sched.Scheduler {
+			out := make([]sched.Scheduler, len(seqs))
+			for i, s := range seqs {
+				out[i] = &sched.Sequence{A: a, Acts: s, LocalOnly: true}
+			}
+			return out
+		},
+	}
+}
+
+func TestCreationMonotonicityLedger(t *testing.T) {
+	// §4.4: X_direct creates Direct subchains, X_parity creates Parity
+	// subchains. The subchains are 0-balanced (trace-equivalent) and the
+	// off-line host schedulers are creation-oblivious, so the hosts are
+	// 0-balanced too.
+	childA := ledger.Subchain("m", 0, ledger.Direct)
+	childB := ledger.Subchain("m", 0, ledger.Parity)
+	hostA, _ := ledger.Host("m", 1, ledger.Direct)
+	hostB, _ := ledger.Host("m", 1, ledger.Parity)
+
+	childOpt := core.Options{
+		Envs: []psioa.PSIOA{psioa.Null("nullenv")},
+		Schema: ledgerSchema(
+			[]psioa.Action{"sample_0_m", "sample_0_m2", ledger.Sealed("m", 0, 0)},
+			[]psioa.Action{"sample_0_m", "sample_0_m2", ledger.Sealed("m", 0, 1)},
+			[]psioa.Action{"sample_0_m", "sample_0_m2"},
+		),
+		Insight: insight.Trace(),
+		Eps:     0,
+		Q1:      4, Q2: 4,
+	}
+	hostOpt := core.Options{
+		Envs: []psioa.PSIOA{psioa.Null("nullenv")},
+		Schema: ledgerSchema(
+			[]psioa.Action{ledger.Open("m"), "sample_0_m", "sample_0_m2", ledger.Sealed("m", 0, 0)},
+			[]psioa.Action{ledger.Open("m"), "sample_0_m", "sample_0_m2", ledger.Sealed("m", 0, 1)},
+			[]psioa.Action{ledger.Open("m"), "sample_0_m", "sample_0_m2"},
+		),
+		Insight: insight.Trace(),
+		Eps:     0,
+		Q1:      5, Q2: 5,
+	}
+	rep, err := core.CreationMonotonicity(childA, childB, hostA, hostB, []string{"host_m"}, childOpt, hostOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds() {
+		t.Errorf("creation monotonicity failed:\n%s", rep)
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestCheckCreationObliviousSchemaRejectsPeeker(t *testing.T) {
+	// The parity subchain's half0/half1 states expose identical signatures
+	// ({sample2}), so conditioning on which half was drawn is hidden-state
+	// peeking and must be rejected.
+	hostB, _ := ledger.Host("m", 1, ledger.Parity)
+	peeky := &sched.FixedSchema{
+		ID: "peeky",
+		Default: func(a psioa.PSIOA, bound int) []sched.Scheduler {
+			return []sched.Scheduler{&sched.FuncSched{ID: "peek", Fn: func(f *psioa.Frag) *sched.Choice {
+				cfg := hostB.Config(f.LState())
+				if st, ok := cfg.StateOf(ledger.SubchainID("m", 0)); ok {
+					switch st {
+					case "fresh":
+						return dirac("sample_0_m")
+					case "half0":
+						return dirac("sample_0_m2") // continues only on half0: peeks!
+					}
+					return sched.Halt()
+				}
+				if f.Len() == 0 {
+					return dirac(ledger.Open("m"))
+				}
+				return sched.Halt()
+			}}}
+		},
+	}
+	err := core.CheckCreationObliviousSchema(hostB, []string{"host_m"}, peeky, 6, 12)
+	if err == nil || !strings.Contains(err.Error(), "creation-oblivious") {
+		t.Errorf("peeking schema accepted: %v", err)
+	}
+}
+
+func dirac(a psioa.Action) *sched.Choice {
+	c := sched.Halt()
+	c.Add(a, 1)
+	return c
+}
+
+func TestNullEnvironment(t *testing.T) {
+	n := psioa.Null("nullenv")
+	if !n.Sig(n.Start()).IsEmpty() {
+		t.Error("null automaton has actions")
+	}
+	if err := psioa.Validate(n, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Null is a unit: composing with it preserves perception.
+	host, _ := ledger.Host("m", 1, ledger.Direct)
+	w := psioa.MustCompose(n, host)
+	s1 := &sched.Greedy{A: w, Bound: 3, LocalOnly: true}
+	s2 := &sched.Greedy{A: host, Bound: 3, LocalOnly: true}
+	d1, err := insight.FDist(w, s1, insight.Trace(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := insight.FDist(host, s2, insight.Trace(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insight.Distance(d1, d2) > 1e-9 {
+		t.Error("null environment changed the perception")
+	}
+}

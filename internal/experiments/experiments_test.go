@@ -1,0 +1,110 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func checkTable(t *testing.T, tbl *experiments.Table, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s produced no rows", tbl.ID)
+	}
+	if !strings.HasPrefix(tbl.Verdict, "PASS") && tbl.ID != "E10" {
+		t.Errorf("%s verdict: %s", tbl.ID, tbl.Verdict)
+	}
+	s := tbl.String()
+	if !strings.Contains(s, tbl.ID) || !strings.Contains(s, "verdict:") {
+		t.Errorf("%s rendering malformed:\n%s", tbl.ID, s)
+	}
+	for _, r := range tbl.Rows {
+		if len(r) != len(tbl.Header) {
+			t.Errorf("%s row width %d != header width %d", tbl.ID, len(r), len(tbl.Header))
+		}
+	}
+}
+
+func TestE1(t *testing.T) { tbl, err := experiments.E1CompositionBound(); checkTable(t, tbl, err) }
+func TestE3(t *testing.T) { tbl, err := experiments.E3HidingBound(); checkTable(t, tbl, err) }
+func TestE4(t *testing.T) { tbl, err := experiments.E4Transitivity(); checkTable(t, tbl, err) }
+func TestE5(t *testing.T) { tbl, err := experiments.E5Composability(); checkTable(t, tbl, err) }
+func TestE6(t *testing.T) { tbl, err := experiments.E6FamilyNegPt(); checkTable(t, tbl, err) }
+func TestE7(t *testing.T) { tbl, err := experiments.E7DummyInsertion(); checkTable(t, tbl, err) }
+
+func TestE2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PCA description sweep is slow")
+	}
+	tbl, err := experiments.E2PCACompositionBound()
+	checkTable(t, tbl, err)
+}
+
+func TestE8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("composed emulation is slow")
+	}
+	tbl, err := experiments.E8SecureEmulation()
+	checkTable(t, tbl, err)
+}
+
+func TestE9(t *testing.T) { tbl, err := experiments.E9DynamicCreation(); checkTable(t, tbl, err) }
+
+func TestE11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dynamic emulation sweep is slow")
+	}
+	tbl, err := experiments.E11DynamicEmulation()
+	checkTable(t, tbl, err)
+}
+
+func TestE10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measure scaling sweep is slow")
+	}
+	tbl, err := experiments.E10Scaling()
+	checkTable(t, tbl, err)
+}
+
+func TestE12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("commitment sweep is slow")
+	}
+	tbl, err := experiments.E12Commitment()
+	checkTable(t, tbl, err)
+}
+
+func TestE13(t *testing.T) {
+	tbl, err := experiments.E13CreationMonotonicity()
+	checkTable(t, tbl, err)
+}
+
+func TestE14(t *testing.T) {
+	tbl, err := experiments.E14CoinFlipping()
+	checkTable(t, tbl, err)
+}
+
+func TestE15(t *testing.T) {
+	if testing.Short() {
+		t.Skip("family emulation sweep is slow")
+	}
+	tbl, err := experiments.E15FamilyEmulation()
+	checkTable(t, tbl, err)
+}
+
+func TestE16(t *testing.T) {
+	tbl, err := experiments.E16SchedulingRole()
+	checkTable(t, tbl, err)
+}
+
+func TestE17(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampling sweep is slow")
+	}
+	tbl, err := experiments.E17SamplingConvergence()
+	checkTable(t, tbl, err)
+}

@@ -1,0 +1,199 @@
+// Package insight implements insight functions (Def 3.4), the image measure
+// f-dist (Def 3.5), the balanced-scheduler relation S^{≤ε} (Def 3.6) and the
+// stability-by-composition property (Def 3.7).
+//
+// An insight function f_{(E,A)} maps executions of E‖A into a measurable
+// arrival space G_E that is shared between f_{(E,A)} and f_{(E,B)}, so that
+// the external perceptions of two systems can be compared. All insights here
+// produce canonical strings, so G_E is a countable discrete space.
+//
+// The implemented insights (trace, accept, print, action-set restriction)
+// are all functions of the execution's action sequence together with the
+// external status of each action at its occurrence. Because composition in
+// this framework is flattening (internal/psioa), E‖(B‖A) and (E‖B)‖A are
+// the same automaton, and all these insights are stable by composition in
+// the sense of Def 3.7 — which TestStability verifies empirically.
+package insight
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/measure"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+)
+
+// Insight is an insight function: a measurable map from executions of the
+// composed system W = E‖A to the arrival space G_E (strings). The composed
+// automaton is passed explicitly so insights can consult signatures (e.g.
+// to restrict to external actions).
+type Insight struct {
+	// ID identifies the insight in reports.
+	ID string
+	// Apply maps an execution of w to an element of G_E.
+	Apply func(w psioa.PSIOA, alpha *psioa.Frag) string
+}
+
+// Trace is the trace insight: the full external trace of the composed
+// system. It is the classic insight of I/O-automata implementation.
+func Trace() Insight {
+	return Insight{
+		ID: "trace",
+		Apply: func(w psioa.PSIOA, alpha *psioa.Frag) string {
+			return alpha.TraceKey(w)
+		},
+	}
+}
+
+// Accept is the accept insight of Canetti et al. [3]: it outputs "1" iff
+// the special action acc occurs in the trace of the execution, "0"
+// otherwise. The accept action is conventionally an output of the
+// environment signalling that it distinguished the real system from the
+// ideal one.
+func Accept(acc psioa.Action) Insight {
+	return Insight{
+		ID: "accept(" + string(acc) + ")",
+		Apply: func(w psioa.PSIOA, alpha *psioa.Frag) string {
+			for _, a := range alpha.Trace(w) {
+				if a == acc {
+					return "1"
+				}
+			}
+			return "0"
+		},
+	}
+}
+
+// Print is the print insight of [7]: the subsequence of trace actions whose
+// names start with the given prefix (conventionally "print_"). It is the
+// insight the paper recommends for extending monotonicity w.r.t. creation
+// to secure emulation.
+func Print(prefix string) Insight {
+	return Insight{
+		ID: "print(" + prefix + ")",
+		Apply: func(w psioa.PSIOA, alpha *psioa.Frag) string {
+			var parts []string
+			for _, a := range alpha.Trace(w) {
+				if strings.HasPrefix(string(a), prefix) {
+					parts = append(parts, string(a))
+				}
+			}
+			return codec.EncodeTuple(parts)
+		},
+	}
+}
+
+// Restrict is the insight that records the subsequence of trace actions
+// belonging to a fixed set — typically the external actions of the
+// environment, giving the "what E itself saw" perception.
+func Restrict(set psioa.ActionSet) Insight {
+	fixed := set.Copy()
+	return Insight{
+		ID: "restrict" + fixed.String(),
+		Apply: func(w psioa.PSIOA, alpha *psioa.Frag) string {
+			var parts []string
+			for _, a := range alpha.Trace(w) {
+				if fixed.Has(a) {
+					parts = append(parts, string(a))
+				}
+			}
+			return codec.EncodeTuple(parts)
+		},
+	}
+}
+
+// FDist computes f-dist_{(E,A)}(σ) (Def 3.5): the image measure of ε_σ
+// under the insight function, where w is the composed system E‖A and σ a
+// scheduler of w. maxDepth guards the exact expansion.
+func FDist(w psioa.PSIOA, s sched.Scheduler, f Insight, maxDepth int) (*measure.Dist[string], error) {
+	em, err := sched.Measure(w, s, maxDepth)
+	if err != nil {
+		return nil, err
+	}
+	return em.Image(func(fr *psioa.Frag) string { return f.Apply(w, fr) }), nil
+}
+
+// Distance returns the Def 3.6 distance between two external perceptions:
+// sup over families I of |Σ_i (d2(ζ_i) − d1(ζ_i))|.
+func Distance(d1, d2 *measure.Dist[string]) float64 {
+	return measure.BalancedSup(d1, d2)
+}
+
+// Balanced reports whether σ S^{≤ε}_{E,f} σ′ holds (Def 3.6), i.e. whether
+// the two schedulers induce external perceptions within ε of each other.
+// wA = E‖A with scheduler s1, wB = E‖B with scheduler s2.
+func Balanced(wA psioa.PSIOA, s1 sched.Scheduler, wB psioa.PSIOA, s2 sched.Scheduler, f Insight, eps float64, maxDepth int) (bool, float64, error) {
+	d1, err := FDist(wA, s1, f, maxDepth)
+	if err != nil {
+		return false, 0, err
+	}
+	d2, err := FDist(wB, s2, f, maxDepth)
+	if err != nil {
+		return false, 0, err
+	}
+	dist := Distance(d1, d2)
+	return dist <= eps+measure.Eps, dist, nil
+}
+
+// StabilityReport is the result of an empirical stability-by-composition
+// check (Def 3.7).
+type StabilityReport struct {
+	// DistWithContext is the Def 3.6 distance computed with B counted as
+	// part of the environment (E‖B observing A₁ vs A₂).
+	DistWithContext float64
+	// DistEnvOnly is the distance computed with the environment alone
+	// (E observing B‖A₁ vs B‖A₂) — for stable insights this is never
+	// larger.
+	DistEnvOnly float64
+}
+
+// CheckStability empirically checks Def 3.7 on a concrete quadruple
+// (A1, A2, B, E) with schedulers σ, σ′: the distinguishing power of E alone
+// must not exceed that of E‖B. Thanks to flattening, E‖B‖A1 is a single
+// automaton; the two readings differ only in which insight parametrisation
+// is used, here expressed by fCtx (perception available to E‖B) and fEnv
+// (perception available to E alone).
+func CheckStability(e, b, a1, a2 psioa.PSIOA, s1, s2 sched.Scheduler, fEnv, fCtx Insight, maxDepth int) (*StabilityReport, error) {
+	w1, err := psioa.Compose(e, b, a1)
+	if err != nil {
+		return nil, err
+	}
+	w2, err := psioa.Compose(e, b, a2)
+	if err != nil {
+		return nil, err
+	}
+	ctx1, err := FDist(w1, s1, fCtx, maxDepth)
+	if err != nil {
+		return nil, err
+	}
+	ctx2, err := FDist(w2, s2, fCtx, maxDepth)
+	if err != nil {
+		return nil, err
+	}
+	env1, err := FDist(w1, s1, fEnv, maxDepth)
+	if err != nil {
+		return nil, err
+	}
+	env2, err := FDist(w2, s2, fEnv, maxDepth)
+	if err != nil {
+		return nil, err
+	}
+	rep := &StabilityReport{
+		DistWithContext: Distance(ctx1, ctx2),
+		DistEnvOnly:     Distance(env1, env2),
+	}
+	return rep, nil
+}
+
+// Stable reports whether the report witnesses stability: the environment
+// alone perceives no more than the environment with context.
+func (r *StabilityReport) Stable() bool {
+	return r.DistEnvOnly <= r.DistWithContext+measure.Eps
+}
+
+// String renders the report.
+func (r *StabilityReport) String() string {
+	return fmt.Sprintf("dist(E||B)=%.6g dist(E)=%.6g stable=%v", r.DistWithContext, r.DistEnvOnly, r.Stable())
+}

@@ -1,0 +1,190 @@
+package insight_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/insight"
+	"repro/internal/measure"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/testaut"
+)
+
+func coinWithSched(bias float64) (*psioa.Table, sched.Scheduler) {
+	c := testaut.Coin("c", bias)
+	return c, &sched.Greedy{A: c, Bound: 5}
+}
+
+func TestTraceInsightFDist(t *testing.T) {
+	c, s := coinWithSched(0.25)
+	d, err := insight.FDist(c, s, insight.Trace(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("f-dist support = %d, want 2 (heads/tails traces)", d.Len())
+	}
+	if !d.IsProb() {
+		t.Error("f-dist should be a probability measure")
+	}
+}
+
+func TestAcceptInsight(t *testing.T) {
+	c, s := coinWithSched(0.25)
+	acc := insight.Accept("heads_c")
+	d, err := insight.FDist(c, s, acc, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.P("1")-0.25) > 1e-9 || math.Abs(d.P("0")-0.75) > 1e-9 {
+		t.Errorf("accept dist = %v", d)
+	}
+}
+
+func TestAcceptIgnoresInternal(t *testing.T) {
+	c := testaut.Coin("c", 1.0)
+	s := &sched.Greedy{A: c, Bound: 5}
+	// flip_c is internal: accept(flip_c) must never fire.
+	d, err := insight.FDist(c, s, insight.Accept("flip_c"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.P("1") != 0 {
+		t.Errorf("internal action leaked into accept: %v", d)
+	}
+}
+
+func TestPrintInsight(t *testing.T) {
+	// An automaton that outputs print_x then other_y.
+	a := psioa.NewBuilder("p", "q0").
+		AddState("q0", psioa.NewSignature(nil, []psioa.Action{"print_x"}, nil)).
+		AddState("q1", psioa.NewSignature(nil, []psioa.Action{"other_y"}, nil)).
+		AddState("q2", psioa.EmptySignature()).
+		AddDet("q0", "print_x", "q1").
+		AddDet("q1", "other_y", "q2").
+		MustBuild()
+	s := &sched.Greedy{A: a, Bound: 5}
+	d, err := insight.FDist(a, s, insight.Print("print_"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("print dist support = %d", d.Len())
+	}
+	// The single perception contains only print_x.
+	for _, k := range d.Support() {
+		if k != "print_x" {
+			t.Errorf("print perception = %q, want \"print_x\"", k)
+		}
+	}
+}
+
+func TestRestrictInsight(t *testing.T) {
+	c, s := coinWithSched(0.5)
+	r := insight.Restrict(psioa.NewActionSet("heads_c"))
+	d, err := insight.FDist(c, s, r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two perceptions: "heads_c" (p=.5) and empty (p=.5).
+	if d.Len() != 2 || math.Abs(d.P("heads_c")-0.5) > 1e-9 {
+		t.Errorf("restrict dist = %v", d)
+	}
+}
+
+func TestBalancedIdenticalCoins(t *testing.T) {
+	c1, s1 := coinWithSched(0.5)
+	c2 := testaut.Coin("c", 0.5) // same automaton, fresh instance
+	s2 := &sched.Greedy{A: c2, Bound: 5}
+	ok, dist, err := insight.Balanced(c1, s1, c2, s2, insight.Trace(), 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || dist > 1e-9 {
+		t.Errorf("identical systems should be 0-balanced, dist=%v", dist)
+	}
+}
+
+func TestBalancedBiasedCoins(t *testing.T) {
+	c1, s1 := coinWithSched(0.5)
+	c2 := testaut.Coin("c", 0.75)
+	s2 := &sched.Greedy{A: c2, Bound: 5}
+	ok, dist, err := insight.Balanced(c1, s1, c2, s2, insight.Trace(), 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("0.25-apart coins should not be 0.1-balanced")
+	}
+	if math.Abs(dist-0.25) > 1e-9 {
+		t.Errorf("distance = %v, want 0.25", dist)
+	}
+	ok, _, _ = insight.Balanced(c1, s1, c2, s2, insight.Trace(), 0.25, 10)
+	if !ok {
+		t.Error("should be 0.25-balanced")
+	}
+}
+
+func TestDistanceMatchesBalancedSup(t *testing.T) {
+	d1 := measure.MustFromMap(map[string]float64{"a": 0.5, "b": 0.5})
+	d2 := measure.MustFromMap(map[string]float64{"a": 0.9, "b": 0.1})
+	if got := insight.Distance(d1, d2); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("Distance = %v, want 0.4", got)
+	}
+}
+
+func TestStabilityTraceInsight(t *testing.T) {
+	// E observes coin x; context B is an unrelated coin y; A1/A2 are coins z
+	// with different bias. The environment-only perception (restricted to
+	// E's actions) must not distinguish better than the full-context trace.
+	e := testaut.CoinEnv("x")
+	x := testaut.OpenCoin("x", 0.5)
+	a1 := testaut.Coin("z", 0.5)
+	a2 := testaut.Coin("z", 0.9)
+	fEnv := insight.Restrict(psioa.NewActionSet("go_x", "heads_x", "tails_x"))
+	fCtx := insight.Trace()
+	w1 := psioa.MustCompose(e, x, a1)
+	s1 := &sched.Sequence{A: w1, Acts: []psioa.Action{"go_x", "flip_z", "heads_z"}}
+	w2 := psioa.MustCompose(e, x, a2)
+	s2 := &sched.Sequence{A: w2, Acts: []psioa.Action{"go_x", "flip_z", "heads_z"}}
+	rep, err := insight.CheckStability(e, x, a1, a2, s1, s2, fEnv, fCtx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stable() {
+		t.Errorf("trace insight should be stable: %v", rep)
+	}
+	// The context does distinguish (heads_z frequency differs) while the
+	// env-only view does not.
+	if rep.DistWithContext <= 1e-9 {
+		t.Errorf("context should distinguish: %v", rep)
+	}
+	if rep.DistEnvOnly > 1e-9 {
+		t.Errorf("env-only view should not distinguish: %v", rep)
+	}
+}
+
+func TestStabilityReportString(t *testing.T) {
+	r := &insight.StabilityReport{DistWithContext: 0.5, DistEnvOnly: 0.25}
+	if !r.Stable() {
+		t.Error("0.25 <= 0.5 should be stable")
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+	bad := &insight.StabilityReport{DistWithContext: 0.1, DistEnvOnly: 0.2}
+	if bad.Stable() {
+		t.Error("0.2 > 0.1 should be unstable")
+	}
+}
+
+func TestFDistPropagatesErrors(t *testing.T) {
+	c := testaut.OpenCoin("c", 0.5)
+	evil := &sched.FuncSched{ID: "loop", Fn: func(f *psioa.Frag) *sched.Choice {
+		return measure.Dirac(psioa.Action("go_c"))
+	}}
+	if _, err := insight.FDist(c, evil, insight.Trace(), 4); err == nil {
+		t.Error("expected depth error to propagate")
+	}
+}

@@ -1,0 +1,84 @@
+package insight_test
+
+import (
+	"testing"
+
+	"repro/internal/insight"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/testaut"
+)
+
+// stabilitySetup builds the Def 3.7 quadruple used by the battery: E
+// observes coin x, B is an unrelated coin y, A1/A2 are coins z of different
+// bias, with matching run-to-completion schedulers.
+func stabilitySetup(t *testing.T, biasA1, biasA2 float64) (e, b, a1, a2 psioa.PSIOA, s1, s2 sched.Scheduler) {
+	t.Helper()
+	e = testaut.CoinEnv("x")
+	b = testaut.OpenCoin("x", 0.5)
+	a1 = testaut.Coin("z", biasA1)
+	a2 = testaut.Coin("z", biasA2)
+	w1 := psioa.MustCompose(e, b, a1)
+	w2 := psioa.MustCompose(e, b, a2)
+	order := []psioa.Action{"go_x", "heads_x", "tails_x", "flip_z", "heads_z", "tails_z"}
+	s1 = &sched.Priority{A: w1, Order: order, Bound: 8, LocalOnly: true}
+	s2 = &sched.Priority{A: w2, Order: order, Bound: 8, LocalOnly: true}
+	return
+}
+
+// TestStabilityBattery checks Def 3.7 for every stock insight across a
+// sweep of bias gaps: the environment-only perception never distinguishes
+// more than the context-extended one.
+func TestStabilityBattery(t *testing.T) {
+	envSet := psioa.NewActionSet("go_x", "heads_x", "tails_x")
+	insights := []struct {
+		name string
+		fEnv insight.Insight
+		fCtx insight.Insight
+	}{
+		{"trace", insight.Restrict(envSet), insight.Trace()},
+		{"accept", insight.Accept("heads_x"), insight.Accept("heads_x")},
+		{"print", insight.Print("heads"), insight.Print("heads")},
+		{"restrict", insight.Restrict(envSet), insight.Restrict(envSet.Union(psioa.NewActionSet("heads_z", "tails_z")))},
+	}
+	for _, bias := range []float64{0.5, 0.75, 1.0} {
+		e, b, a1, a2, s1, s2 := stabilitySetup(t, 0.5, bias)
+		for _, in := range insights {
+			rep, err := insight.CheckStability(e, b, a1, a2, s1, s2, in.fEnv, in.fCtx, 12)
+			if err != nil {
+				t.Fatalf("%s bias=%v: %v", in.name, bias, err)
+			}
+			if !rep.Stable() {
+				t.Errorf("%s bias=%v unstable: %v", in.name, bias, rep)
+			}
+		}
+	}
+}
+
+// TestStabilityDetectsContextSensitivity: the context's perception strictly
+// exceeds the environment's whenever A1/A2 differ and only the context can
+// see them.
+func TestStabilityDetectsContextSensitivity(t *testing.T) {
+	envSet := psioa.NewActionSet("go_x", "heads_x", "tails_x")
+	e, b, a1, a2, s1, s2 := stabilitySetup(t, 0.5, 1.0)
+	rep, err := insight.CheckStability(e, b, a1, a2, s1, s2, insight.Restrict(envSet), insight.Trace(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DistWithContext <= rep.DistEnvOnly {
+		t.Errorf("context should strictly distinguish here: %v", rep)
+	}
+}
+
+// TestInsightIDs: identifiers are stable and informative.
+func TestInsightIDs(t *testing.T) {
+	if insight.Trace().ID != "trace" {
+		t.Error("trace ID changed")
+	}
+	if insight.Accept("acc").ID != "accept(acc)" {
+		t.Error("accept ID changed")
+	}
+	if insight.Print("p_").ID != "print(p_)" {
+		t.Error("print ID changed")
+	}
+}

@@ -1,0 +1,358 @@
+// Package measure implements the discrete probability theory of Section 2.1:
+// discrete (sub-)probability measures Disc(S)/SubDisc(S) on countable sets,
+// Dirac measures, product measures, image measures, supports, and the
+// distribution distances used by the balanced-scheduler relation (Def 3.6).
+//
+// Measures are represented as finite support maps from elements to weights.
+// Elements must be comparable; throughout the framework they are canonical
+// string encodings (see internal/codec), so Dist[string] is the workhorse.
+package measure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eps is the tolerance used when comparing probabilities and totals. Exact
+// rational arithmetic would be overkill: every measure in the framework is
+// built from user-supplied float weights and finitely many products/sums.
+const Eps = 1e-9
+
+// Dist is a discrete sub-probability measure over T: a finite-support
+// weight function with total mass ≤ 1 (+Eps slack). A Dist with total mass 1
+// is a probability measure, i.e. an element of Disc(T); with mass < 1 it is
+// an element of SubDisc(T) as used by schedulers (Def 3.1), where the
+// deficit 1 − |η| is the halting probability.
+type Dist[T comparable] struct {
+	w map[T]float64
+}
+
+// New returns an empty (zero-mass) distribution.
+func New[T comparable]() *Dist[T] {
+	return &Dist[T]{w: make(map[T]float64)}
+}
+
+// Dirac returns δ_x, the Dirac probability measure at x (Section 2.1).
+func Dirac[T comparable](x T) *Dist[T] {
+	d := New[T]()
+	d.w[x] = 1
+	return d
+}
+
+// FromMap builds a distribution from an explicit weight map. Weights must be
+// non-negative and sum to at most 1+Eps. Zero weights are dropped so that
+// Support is exactly the set of positive-weight elements.
+func FromMap[T comparable](w map[T]float64) (*Dist[T], error) {
+	d := New[T]()
+	total := 0.0
+	for x, p := range w {
+		if p < 0 {
+			return nil, fmt.Errorf("measure: negative weight %v for %v", p, x)
+		}
+		if p == 0 {
+			continue
+		}
+		d.w[x] = p
+		total += p
+	}
+	if total > 1+Eps {
+		return nil, fmt.Errorf("measure: total mass %v exceeds 1", total)
+	}
+	return d, nil
+}
+
+// MustFromMap is FromMap that panics on invalid input; for literals in tests
+// and in-package constructions whose validity is guaranteed by construction.
+func MustFromMap[T comparable](w map[T]float64) *Dist[T] {
+	d, err := FromMap(w)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Uniform returns the uniform probability measure on the given elements.
+// Duplicate elements accumulate weight. Panics if xs is empty.
+func Uniform[T comparable](xs []T) *Dist[T] {
+	if len(xs) == 0 {
+		panic("measure: Uniform over empty support")
+	}
+	d := New[T]()
+	p := 1.0 / float64(len(xs))
+	for _, x := range xs {
+		d.w[x] += p
+	}
+	return d
+}
+
+// P returns the probability mass assigned to x (0 if absent).
+func (d *Dist[T]) P(x T) float64 { return d.w[x] }
+
+// Add increases the mass at x by p. It is the building block for measure
+// construction; callers are responsible for keeping the total ≤ 1 (validated
+// by Total/IsProb when it matters). Negative p panics.
+func (d *Dist[T]) Add(x T, p float64) {
+	if p < 0 {
+		panic(fmt.Sprintf("measure: Add negative mass %v", p))
+	}
+	if p == 0 {
+		return
+	}
+	d.w[x] += p
+}
+
+// Total returns the total mass Σ_x d(x).
+func (d *Dist[T]) Total() float64 {
+	t := 0.0
+	for _, p := range d.w {
+		t += p
+	}
+	return t
+}
+
+// IsProb reports whether d is a probability measure (total mass 1 ± Eps).
+func (d *Dist[T]) IsProb() bool { return math.Abs(d.Total()-1) <= Eps }
+
+// IsSubProb reports whether d is a sub-probability measure (total ≤ 1+Eps).
+func (d *Dist[T]) IsSubProb() bool { return d.Total() <= 1+Eps }
+
+// Deficit returns 1 − Total(), the halting probability when d is a
+// scheduler's choice sub-distribution (Def 3.1). Clamped at 0.
+func (d *Dist[T]) Deficit() float64 {
+	def := 1 - d.Total()
+	if def < 0 {
+		return 0
+	}
+	return def
+}
+
+// Len returns the size of the support.
+func (d *Dist[T]) Len() int { return len(d.w) }
+
+// Support returns supp(d): the elements with positive mass, in map order.
+func (d *Dist[T]) Support() []T {
+	s := make([]T, 0, len(d.w))
+	for x := range d.w {
+		s = append(s, x)
+	}
+	return s
+}
+
+// ForEach calls f for every (element, mass) pair with positive mass.
+func (d *Dist[T]) ForEach(f func(x T, p float64)) {
+	for x, p := range d.w {
+		if p > 0 {
+			f(x, p)
+		}
+	}
+}
+
+// Copy returns an independent copy of d.
+func (d *Dist[T]) Copy() *Dist[T] {
+	c := New[T]()
+	for x, p := range d.w {
+		c.w[x] = p
+	}
+	return c
+}
+
+// Scale returns the measure x ↦ c·d(x). c must be in [0, 1].
+func (d *Dist[T]) Scale(c float64) *Dist[T] {
+	if c < 0 || c > 1+Eps {
+		panic(fmt.Sprintf("measure: Scale factor %v out of [0,1]", c))
+	}
+	s := New[T]()
+	for x, p := range d.w {
+		s.w[x] = c * p
+	}
+	return s
+}
+
+// Map returns the image measure of d under f: (f∗d)(y) = Σ_{f(x)=y} d(x).
+// This is exactly the f-dist construction of Def 3.5 when d is an execution
+// measure and f an insight function.
+func Map[T, U comparable](d *Dist[T], f func(T) U) *Dist[U] {
+	img := New[U]()
+	for x, p := range d.w {
+		img.w[f(x)] += p
+	}
+	return img
+}
+
+// Product returns the product measure d1 ⊗ d2 over pairs, represented via
+// the combining function pair (typically a tuple codec):
+// (d1⊗d2)(pair(x,y)) = d1(x)·d2(y) (Section 2.1).
+func Product[T, U, V comparable](d1 *Dist[T], d2 *Dist[U], pair func(T, U) V) *Dist[V] {
+	prod := New[V]()
+	for x, px := range d1.w {
+		for y, py := range d2.w {
+			prod.w[pair(x, y)] += px * py
+		}
+	}
+	return prod
+}
+
+// ProductN returns the n-fold product measure of probability measures over
+// string-encoded components, combined with join (typically codec.EncodeTuple
+// over the component list). Each factor contributes independently.
+func ProductN(factors []*Dist[string], join func([]string) string) *Dist[string] {
+	acc := New[string]()
+	var rec func(i int, parts []string, p float64)
+	rec = func(i int, parts []string, p float64) {
+		if i == len(factors) {
+			acc.w[join(parts)] += p
+			return
+		}
+		for x, px := range factors[i].w {
+			rec(i+1, append(parts, x), p*px)
+		}
+	}
+	rec(0, make([]string, 0, len(factors)), 1)
+	return acc
+}
+
+// Mixture returns the convex combination Σ wᵢ·dᵢ. Weights must be
+// non-negative and sum to at most 1+Eps (sub-convex combinations yield
+// sub-probability measures, matching the scheduler convexity of Def 3.1).
+func Mixture[T comparable](ws []float64, ds []*Dist[T]) (*Dist[T], error) {
+	if len(ws) != len(ds) {
+		return nil, fmt.Errorf("measure: %d weights for %d measures", len(ws), len(ds))
+	}
+	total := 0.0
+	out := New[T]()
+	for i, w := range ws {
+		if w < 0 {
+			return nil, fmt.Errorf("measure: negative weight %v", w)
+		}
+		total += w
+		ds[i].ForEach(func(x T, p float64) { out.Add(x, w*p) })
+	}
+	if total > 1+Eps {
+		return nil, fmt.Errorf("measure: mixture weights sum to %v > 1", total)
+	}
+	return out, nil
+}
+
+// Condition returns the measure restricted to elements satisfying pred,
+// renormalised to a probability measure. It errors when the predicate has
+// measure zero.
+func Condition[T comparable](d *Dist[T], pred func(T) bool) (*Dist[T], error) {
+	mass := 0.0
+	d.ForEach(func(x T, p float64) {
+		if pred(x) {
+			mass += p
+		}
+	})
+	if mass <= Eps {
+		return nil, fmt.Errorf("measure: conditioning on a null event")
+	}
+	out := New[T]()
+	d.ForEach(func(x T, p float64) {
+		if pred(x) {
+			out.Add(x, p/mass)
+		}
+	})
+	return out, nil
+}
+
+// Equal reports whether d and e assign the same mass (± Eps) to every
+// element of the union of their supports.
+func Equal[T comparable](d, e *Dist[T]) bool {
+	for x, p := range d.w {
+		if math.Abs(p-e.w[x]) > Eps {
+			return false
+		}
+	}
+	for x, p := range e.w {
+		if math.Abs(p-d.w[x]) > Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// BalancedSup computes the distance of Def 3.6:
+//
+//	sup_{I ⊆ supp} | Σ_{i∈I} (e(ζ_i) − d(ζ_i)) |
+//
+// over all countable families of elements. For finite supports this sup is
+// attained either by the set of elements where e > d or by the set where
+// e < d, so it equals max(Σ positive differences, Σ negative differences).
+// Two schedulers σ, σ′ are S^{≤ε}_{E,f}-balanced iff
+// BalancedSup(f-dist(σ), f-dist(σ′)) ≤ ε.
+func BalancedSup[T comparable](d, e *Dist[T]) float64 {
+	pos, neg := 0.0, 0.0
+	seen := make(map[T]bool, len(d.w)+len(e.w))
+	for x := range d.w {
+		seen[x] = true
+	}
+	for x := range e.w {
+		seen[x] = true
+	}
+	for x := range seen {
+		diff := e.w[x] - d.w[x]
+		if diff > 0 {
+			pos += diff
+		} else {
+			neg -= diff
+		}
+	}
+	return math.Max(pos, neg)
+}
+
+// TVDistance returns the total variation distance
+// ½ Σ_x |d(x) − e(x)|. For probability measures TVDistance == BalancedSup;
+// for sub-probability measures they can differ, which is why the framework
+// uses BalancedSup (the paper's Def 3.6) for the implementation relation.
+func TVDistance[T comparable](d, e *Dist[T]) float64 {
+	sum := 0.0
+	seen := make(map[T]bool, len(d.w)+len(e.w))
+	for x := range d.w {
+		seen[x] = true
+	}
+	for x := range e.w {
+		seen[x] = true
+	}
+	for x := range seen {
+		sum += math.Abs(d.w[x] - e.w[x])
+	}
+	return sum / 2
+}
+
+// Sample draws one element from d using u ∈ [0,1). If u lands in the halting
+// deficit of a sub-probability measure, ok is false. Iteration order over
+// map entries is randomized by the runtime, so sampling is made deterministic
+// by walking the support in sorted order of fmt-formatted keys; for the
+// string instantiations used throughout this is plain lexicographic order.
+func (d *Dist[T]) Sample(u float64) (x T, ok bool) {
+	keys := d.Support()
+	sort.Slice(keys, func(i, j int) bool {
+		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+	})
+	acc := 0.0
+	for _, k := range keys {
+		acc += d.w[k]
+		if u < acc {
+			return k, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// String renders the distribution deterministically for diagnostics.
+func (d *Dist[T]) String() string {
+	keys := d.Support()
+	sort.Slice(keys, func(i, j int) bool {
+		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+	})
+	s := "{"
+	for i, k := range keys {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%v:%.6g", k, d.w[k])
+	}
+	return s + "}"
+}

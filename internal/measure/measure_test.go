@@ -1,0 +1,322 @@
+package measure
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/codec"
+)
+
+func TestDirac(t *testing.T) {
+	d := Dirac("x")
+	if !d.IsProb() {
+		t.Error("Dirac is not a probability measure")
+	}
+	if d.P("x") != 1 || d.P("y") != 0 {
+		t.Errorf("Dirac masses wrong: P(x)=%v P(y)=%v", d.P("x"), d.P("y"))
+	}
+	if d.Len() != 1 {
+		t.Errorf("Dirac support size = %d", d.Len())
+	}
+}
+
+func TestFromMapValid(t *testing.T) {
+	d, err := FromMap(map[string]float64{"a": 0.25, "b": 0.75, "c": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsProb() {
+		t.Error("expected probability measure")
+	}
+	if d.Len() != 2 {
+		t.Errorf("zero weights should be dropped; support size = %d", d.Len())
+	}
+}
+
+func TestFromMapErrors(t *testing.T) {
+	if _, err := FromMap(map[string]float64{"a": -0.1}); err == nil {
+		t.Error("expected error for negative weight")
+	}
+	if _, err := FromMap(map[string]float64{"a": 0.6, "b": 0.6}); err == nil {
+		t.Error("expected error for mass > 1")
+	}
+}
+
+func TestMustFromMapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustFromMap(map[string]float64{"a": 2})
+}
+
+func TestUniform(t *testing.T) {
+	d := Uniform([]string{"a", "b", "c", "d"})
+	for _, x := range []string{"a", "b", "c", "d"} {
+		if math.Abs(d.P(x)-0.25) > Eps {
+			t.Errorf("P(%s) = %v, want 0.25", x, d.P(x))
+		}
+	}
+	dup := Uniform([]string{"a", "a"})
+	if math.Abs(dup.P("a")-1) > Eps {
+		t.Errorf("duplicate accumulation: P(a) = %v, want 1", dup.P("a"))
+	}
+}
+
+func TestUniformEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty support")
+		}
+	}()
+	Uniform[string](nil)
+}
+
+func TestSubProbDeficit(t *testing.T) {
+	d := MustFromMap(map[string]float64{"go": 0.7})
+	if d.IsProb() {
+		t.Error("sub-probability measure should not be IsProb")
+	}
+	if !d.IsSubProb() {
+		t.Error("should be sub-probability")
+	}
+	if math.Abs(d.Deficit()-0.3) > Eps {
+		t.Errorf("Deficit = %v, want 0.3", d.Deficit())
+	}
+	if Dirac("x").Deficit() != 0 {
+		t.Error("probability measure should have zero deficit")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	d := New[string]()
+	d.Add("a", 0.5)
+	d.Add("a", 0.25)
+	d.Add("b", 0)
+	if math.Abs(d.P("a")-0.75) > Eps {
+		t.Errorf("P(a) = %v", d.P("a"))
+	}
+	if d.Len() != 1 {
+		t.Errorf("zero Add should not extend support; len = %d", d.Len())
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New[string]().Add("a", -1)
+}
+
+func TestMapImageMeasure(t *testing.T) {
+	d := MustFromMap(map[string]float64{"aa": 0.2, "ab": 0.3, "ba": 0.5})
+	img := Map(d, func(s string) string { return s[:1] })
+	if math.Abs(img.P("a")-0.5) > Eps || math.Abs(img.P("b")-0.5) > Eps {
+		t.Errorf("image measure wrong: %v", img)
+	}
+	if !img.IsProb() {
+		t.Error("image of probability measure must be probability measure")
+	}
+}
+
+func TestProduct(t *testing.T) {
+	d1 := MustFromMap(map[string]float64{"x": 0.5, "y": 0.5})
+	d2 := MustFromMap(map[string]float64{"u": 0.25, "v": 0.75})
+	p := Product(d1, d2, func(a, b string) string { return a + b })
+	want := map[string]float64{"xu": 0.125, "xv": 0.375, "yu": 0.125, "yv": 0.375}
+	for k, v := range want {
+		if math.Abs(p.P(k)-v) > Eps {
+			t.Errorf("P(%s) = %v, want %v", k, p.P(k), v)
+		}
+	}
+	if !p.IsProb() {
+		t.Error("product of probability measures must be probability measure")
+	}
+}
+
+func TestProductN(t *testing.T) {
+	f := []*Dist[string]{
+		MustFromMap(map[string]float64{"0": 0.5, "1": 0.5}),
+		MustFromMap(map[string]float64{"0": 0.5, "1": 0.5}),
+		MustFromMap(map[string]float64{"0": 0.5, "1": 0.5}),
+	}
+	p := ProductN(f, func(parts []string) string { return strings.Join(parts, "") })
+	if p.Len() != 8 {
+		t.Fatalf("support size = %d, want 8", p.Len())
+	}
+	for _, x := range p.Support() {
+		if math.Abs(p.P(x)-0.125) > Eps {
+			t.Errorf("P(%s) = %v, want 0.125", x, p.P(x))
+		}
+	}
+	// Empty product is Dirac at join(nil).
+	empty := ProductN(nil, codec.EncodeTuple)
+	if !empty.IsProb() || math.Abs(empty.P(codec.EncodeTuple(nil))-1) > Eps {
+		t.Error("empty product should be Dirac at empty tuple")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustFromMap(map[string]float64{"x": 0.5, "y": 0.5})
+	b := MustFromMap(map[string]float64{"y": 0.5, "x": 0.5})
+	c := MustFromMap(map[string]float64{"x": 0.6, "y": 0.4})
+	if !Equal(a, b) {
+		t.Error("equal measures reported unequal")
+	}
+	if Equal(a, c) {
+		t.Error("unequal measures reported equal")
+	}
+	// Differing supports.
+	d := MustFromMap(map[string]float64{"x": 0.5, "z": 0.5})
+	if Equal(a, d) {
+		t.Error("measures with different supports reported equal")
+	}
+}
+
+func TestBalancedSupBasics(t *testing.T) {
+	a := MustFromMap(map[string]float64{"x": 0.5, "y": 0.5})
+	b := MustFromMap(map[string]float64{"x": 0.7, "y": 0.3})
+	if got := BalancedSup(a, b); math.Abs(got-0.2) > Eps {
+		t.Errorf("BalancedSup = %v, want 0.2", got)
+	}
+	if got := BalancedSup(a, a); got > Eps {
+		t.Errorf("BalancedSup(a,a) = %v, want 0", got)
+	}
+}
+
+func TestBalancedSupSubProb(t *testing.T) {
+	// For sub-probability measures the positive and negative parts differ:
+	// a has mass 1, b has mass 0.5 concentrated on x.
+	a := MustFromMap(map[string]float64{"x": 0.5, "y": 0.5})
+	b := MustFromMap(map[string]float64{"x": 0.5})
+	// e - d: x: 0, y: -0.5 → pos = 0, neg = 0.5 → sup = 0.5.
+	if got := BalancedSup(a, b); math.Abs(got-0.5) > Eps {
+		t.Errorf("BalancedSup = %v, want 0.5", got)
+	}
+}
+
+func TestTVDistanceMatchesBalancedSupOnProb(t *testing.T) {
+	prop := func(w1, w2, w3, w4 uint8) bool {
+		// Build two probability measures on {a,b,c} from random weights.
+		mk := func(x, y, z uint8) *Dist[string] {
+			tot := float64(x) + float64(y) + float64(z) + 3
+			return MustFromMap(map[string]float64{
+				"a": (float64(x) + 1) / tot,
+				"b": (float64(y) + 1) / tot,
+				"c": (float64(z) + 1) / tot,
+			})
+		}
+		d := mk(w1, w2, w3)
+		e := mk(w2, w3, w4)
+		return math.Abs(TVDistance(d, e)-BalancedSup(d, e)) <= 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalancedSupTriangleQuick(t *testing.T) {
+	prop := func(w1, w2, w3, w4, w5, w6 uint8) bool {
+		mk := func(x, y uint8) *Dist[string] {
+			tot := float64(x) + float64(y) + 2
+			return MustFromMap(map[string]float64{
+				"a": (float64(x) + 1) / tot,
+				"b": (float64(y) + 1) / tot,
+			})
+		}
+		d1, d2, d3 := mk(w1, w2), mk(w3, w4), mk(w5, w6)
+		// Triangle inequality: key to transitivity (Thm 4.16 / B.4).
+		return BalancedSup(d1, d3) <= BalancedSup(d1, d2)+BalancedSup(d2, d3)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	d := MustFromMap(map[string]float64{"a": 0.4, "b": 0.6})
+	s := d.Scale(0.5)
+	if math.Abs(s.Total()-0.5) > Eps {
+		t.Errorf("scaled total = %v, want 0.5", s.Total())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range scale")
+		}
+	}()
+	d.Scale(2)
+}
+
+func TestCopyIndependence(t *testing.T) {
+	d := MustFromMap(map[string]float64{"a": 0.5})
+	c := d.Copy()
+	c.Add("b", 0.5)
+	if d.P("b") != 0 {
+		t.Error("Copy is not independent")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	d := MustFromMap(map[string]float64{"a": 0.25, "b": 0.25, "c": 0.5})
+	// Sorted order: a [0,.25), b [.25,.5), c [.5,1).
+	cases := []struct {
+		u    float64
+		want string
+	}{{0.0, "a"}, {0.24, "a"}, {0.26, "b"}, {0.49, "b"}, {0.5, "c"}, {0.99, "c"}}
+	for _, c := range cases {
+		got, ok := d.Sample(c.u)
+		if !ok || got != c.want {
+			t.Errorf("Sample(%v) = %q,%v want %q", c.u, got, ok, c.want)
+		}
+	}
+	// Sub-probability deficit → halt.
+	sub := MustFromMap(map[string]float64{"a": 0.5})
+	if _, ok := sub.Sample(0.9); ok {
+		t.Error("sample in deficit region should report !ok")
+	}
+}
+
+func TestForEachSkipsZero(t *testing.T) {
+	d := New[string]()
+	d.w["z"] = 0 // direct manipulation to simulate a zero entry
+	d.Add("a", 1)
+	count := 0
+	d.ForEach(func(x string, p float64) { count++ })
+	if count != 1 {
+		t.Errorf("ForEach visited %d entries, want 1", count)
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	d := MustFromMap(map[string]float64{"b": 0.5, "a": 0.5})
+	want := "{a:0.5, b:0.5}"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestMapPreservesTotalQuick(t *testing.T) {
+	prop := func(ws []uint8) bool {
+		if len(ws) == 0 {
+			return true
+		}
+		tot := 0.0
+		for _, w := range ws {
+			tot += float64(w) + 1
+		}
+		d := New[int]()
+		for i, w := range ws {
+			d.Add(i, (float64(w)+1)/tot)
+		}
+		img := Map(d, func(i int) int { return i % 3 })
+		return math.Abs(img.Total()-d.Total()) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

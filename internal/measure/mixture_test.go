@@ -1,0 +1,87 @@
+package measure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixtureBasics(t *testing.T) {
+	d1 := MustFromMap(map[string]float64{"a": 1})
+	d2 := MustFromMap(map[string]float64{"b": 1})
+	m, err := Mixture([]float64{0.25, 0.75}, []*Dist[string]{d1, d2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.P("a")-0.25) > Eps || math.Abs(m.P("b")-0.75) > Eps {
+		t.Errorf("mixture = %v", m)
+	}
+	if !m.IsProb() {
+		t.Error("full mixture should be a probability measure")
+	}
+}
+
+func TestMixtureSubConvex(t *testing.T) {
+	d1 := Dirac("a")
+	m, err := Mixture([]float64{0.5}, []*Dist[string]{d1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Deficit()-0.5) > Eps {
+		t.Errorf("deficit = %v", m.Deficit())
+	}
+}
+
+func TestMixtureErrors(t *testing.T) {
+	d := Dirac("a")
+	if _, err := Mixture([]float64{1}, []*Dist[string]{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Mixture([]float64{-0.5}, []*Dist[string]{d}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := Mixture([]float64{0.8, 0.8}, []*Dist[string]{d, d}); err == nil {
+		t.Error("super-convex weights accepted")
+	}
+}
+
+func TestMixturePreservesMassQuick(t *testing.T) {
+	prop := func(w1, w2 uint8) bool {
+		a := float64(w1%100) / 200
+		b := float64(w2%100) / 200
+		d1 := MustFromMap(map[string]float64{"x": 0.3, "y": 0.7})
+		d2 := MustFromMap(map[string]float64{"y": 0.4, "z": 0.6})
+		m, err := Mixture([]float64{a, b}, []*Dist[string]{d1, d2})
+		if err != nil {
+			return false
+		}
+		return math.Abs(m.Total()-(a+b)) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCondition(t *testing.T) {
+	d := MustFromMap(map[string]float64{"a1": 0.2, "a2": 0.3, "b1": 0.5})
+	c, err := Condition(d, func(s string) bool { return s[0] == 'a' })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsProb() {
+		t.Error("conditioned measure not normalised")
+	}
+	if math.Abs(c.P("a1")-0.4) > Eps || math.Abs(c.P("a2")-0.6) > Eps {
+		t.Errorf("conditioned = %v", c)
+	}
+	if c.P("b1") != 0 {
+		t.Error("excluded element kept mass")
+	}
+}
+
+func TestConditionNullEvent(t *testing.T) {
+	d := Dirac("a")
+	if _, err := Condition(d, func(string) bool { return false }); err == nil {
+		t.Error("conditioning on null event accepted")
+	}
+}

@@ -1,0 +1,304 @@
+// Package pca implements configurations and probabilistic configuration
+// automata (Section 2.5–2.6): configurations of automata with their current
+// states (Def 2.9), reduction (Def 2.12), preserving and intrinsic
+// transitions with dynamic creation and destruction (Defs 2.13–2.14), the
+// PCA structure with its four constraints (Def 2.16), PCA hiding (Def 2.17)
+// and PCA composition (Def 2.19).
+package pca
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/measure"
+	"repro/internal/psioa"
+)
+
+// Registry is the mapping aut : Autids → Auts from identifiers to automata.
+// Dynamic creation instantiates automata by identifier through a registry.
+type Registry interface {
+	Lookup(id string) (psioa.PSIOA, bool)
+}
+
+// MapRegistry is a Registry backed by a map.
+type MapRegistry map[string]psioa.PSIOA
+
+// Lookup implements Registry.
+func (m MapRegistry) Lookup(id string) (psioa.PSIOA, bool) {
+	a, ok := m[id]
+	return a, ok
+}
+
+// Register adds automata to the registry keyed by their own identifiers.
+func (m MapRegistry) Register(auts ...psioa.PSIOA) MapRegistry {
+	for _, a := range auts {
+		m[a.ID()] = a
+	}
+	return m
+}
+
+// Config is a configuration (A, S) (Def 2.9): a finite set of PSIOA
+// identifiers together with a current state for each. Configs are
+// immutable; operations return new configurations.
+type Config struct {
+	states map[string]psioa.State
+}
+
+// NewConfig builds a configuration from an id → state map.
+func NewConfig(states map[string]psioa.State) *Config {
+	cp := make(map[string]psioa.State, len(states))
+	for id, q := range states {
+		cp[id] = q
+	}
+	return &Config{states: cp}
+}
+
+// EmptyConfig returns the configuration with no automata.
+func EmptyConfig() *Config { return &Config{states: map[string]psioa.State{}} }
+
+// Auts returns auts(C): the automaton identifiers, sorted.
+func (c *Config) Auts() []string {
+	ids := make([]string, 0, len(c.states))
+	for id := range c.states {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len returns |auts(C)|.
+func (c *Config) Len() int { return len(c.states) }
+
+// Has reports whether the automaton with the given id is in the
+// configuration.
+func (c *Config) Has(id string) bool {
+	_, ok := c.states[id]
+	return ok
+}
+
+// StateOf returns map(C)(id), the current state of the identified automaton.
+func (c *Config) StateOf(id string) (psioa.State, bool) {
+	q, ok := c.states[id]
+	return q, ok
+}
+
+// With returns a copy of c with the automaton id set to state q.
+func (c *Config) With(id string, q psioa.State) *Config {
+	cp := NewConfig(c.states)
+	cp.states[id] = q
+	return cp
+}
+
+// Without returns a copy of c with the automaton id removed.
+func (c *Config) Without(id string) *Config {
+	cp := NewConfig(c.states)
+	delete(cp.states, id)
+	return cp
+}
+
+// Key returns the canonical injective encoding of the configuration —
+// the ⟨C⟩ of Section 4 — usable as a PCA state.
+func (c *Config) Key() string {
+	m := make(map[string]string, len(c.states))
+	for id, q := range c.states {
+		m[id] = string(q)
+	}
+	return codec.EncodePairs(m)
+}
+
+// FromKey decodes a configuration key produced by Key.
+func FromKey(key string) (*Config, error) {
+	m, err := codec.DecodePairs(key)
+	if err != nil {
+		return nil, err
+	}
+	states := make(map[string]psioa.State, len(m))
+	for id, q := range m {
+		states[id] = psioa.State(q)
+	}
+	return &Config{states: states}, nil
+}
+
+// sigs returns the per-automaton signatures at the configuration's states.
+func (c *Config) sigs(reg Registry) (map[string]psioa.Signature, error) {
+	out := make(map[string]psioa.Signature, len(c.states))
+	for id, q := range c.states {
+		a, ok := reg.Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("pca: automaton %q not in registry", id)
+		}
+		out[id] = a.Sig(q)
+	}
+	return out, nil
+}
+
+// Compatible checks Def 2.10: the automata are compatible at the
+// configuration's states (their signatures form a compatible set).
+func (c *Config) Compatible(reg Registry) error {
+	sigs, err := c.sigs(reg)
+	if err != nil {
+		return err
+	}
+	ids := c.Auts()
+	ordered := make([]psioa.Signature, len(ids))
+	for i, id := range ids {
+		ordered[i] = sigs[id]
+	}
+	if err := psioa.CompatibleSignatures(ordered); err != nil {
+		return fmt.Errorf("pca: configuration %v incompatible: %w", ids, err)
+	}
+	return nil
+}
+
+// Sig returns the intrinsic signature sig(C) of Def 2.11:
+// out = ∪ out_i, int = ∪ int_i, in = (∪ in_i) \ out.
+func (c *Config) Sig(reg Registry) (psioa.Signature, error) {
+	sigs, err := c.sigs(reg)
+	if err != nil {
+		return psioa.Signature{}, err
+	}
+	ordered := make([]psioa.Signature, 0, len(sigs))
+	for _, id := range c.Auts() {
+		ordered = append(ordered, sigs[id])
+	}
+	return psioa.ComposeSignatures(ordered), nil
+}
+
+// Reduce implements Def 2.12: drop the automata whose current signature is
+// empty (the destruction mechanism).
+func (c *Config) Reduce(reg Registry) (*Config, error) {
+	sigs, err := c.sigs(reg)
+	if err != nil {
+		return nil, err
+	}
+	out := EmptyConfig()
+	for id, q := range c.states {
+		if !sigs[id].IsEmpty() {
+			out.states[id] = q
+		}
+	}
+	return out, nil
+}
+
+// IsReduced reports whether C = reduce(C).
+func (c *Config) IsReduced(reg Registry) (bool, error) {
+	r, err := c.Reduce(reg)
+	if err != nil {
+		return false, err
+	}
+	return r.Key() == c.Key(), nil
+}
+
+// Equal reports whether two configurations have the same automata in the
+// same states.
+func (c *Config) Equal(d *Config) bool { return c.Key() == d.Key() }
+
+// String renders the configuration deterministically.
+func (c *Config) String() string {
+	s := "{"
+	for i, id := range c.Auts() {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s:%s", id, c.states[id])
+	}
+	return s + "}"
+}
+
+// PreservingTrans implements Def 2.13: the probabilistic transition
+// C --a⇀ η_p in which no automaton is created or destroyed. Every
+// constituent with a in its current signature moves according to its own
+// transition measure; the others stay put. The result is a distribution
+// over configuration keys (all with the same automaton set).
+func PreservingTrans(reg Registry, c *Config, a psioa.Action) (*measure.Dist[string], error) {
+	if err := c.Compatible(reg); err != nil {
+		return nil, err
+	}
+	sig, err := c.Sig(reg)
+	if err != nil {
+		return nil, err
+	}
+	if !sig.All().Has(a) {
+		return nil, fmt.Errorf("pca: action %q not in sig(C) for C=%v", a, c)
+	}
+	ids := c.Auts()
+	factors := make([]*measure.Dist[string], len(ids))
+	for i, id := range ids {
+		aut, _ := reg.Lookup(id)
+		q := c.states[id]
+		if aut.Sig(q).All().Has(a) {
+			d := measure.New[string]()
+			aut.Trans(q, a).ForEach(func(q2 psioa.State, p float64) { d.Add(string(q2), p) })
+			factors[i] = d
+		} else {
+			factors[i] = measure.Dirac(string(q))
+		}
+	}
+	joint := measure.ProductN(factors, codec.EncodeTuple)
+	out := measure.New[string]()
+	joint.ForEach(func(tuple string, p float64) {
+		parts := codec.MustDecodeTuple(tuple)
+		next := EmptyConfig()
+		for i, id := range ids {
+			next.states[id] = psioa.State(parts[i])
+		}
+		out.Add(next.Key(), p)
+	})
+	return out, nil
+}
+
+// IntrinsicTrans implements Def 2.14: the dynamic transition
+// (A,S) ==a=>_φ η in which the automata of φ are created (at their start
+// states, with probability 1) and automata whose signatures become empty
+// are destroyed via reduction. c must be reduced and compatible, and
+// φ ∩ auts(C) = ∅.
+func IntrinsicTrans(reg Registry, c *Config, a psioa.Action, created []string) (*measure.Dist[string], error) {
+	reduced, err := c.IsReduced(reg)
+	if err != nil {
+		return nil, err
+	}
+	if !reduced {
+		return nil, fmt.Errorf("pca: intrinsic transition from non-reduced configuration %v", c)
+	}
+	for _, id := range created {
+		if c.Has(id) {
+			return nil, fmt.Errorf("pca: created set contains %q which is already in the configuration (φ ∩ A must be empty)", id)
+		}
+		if _, ok := reg.Lookup(id); !ok {
+			return nil, fmt.Errorf("pca: created automaton %q not in registry", id)
+		}
+	}
+	etaP, err := PreservingTrans(reg, c, a)
+	if err != nil {
+		return nil, err
+	}
+	out := measure.New[string]()
+	var ierr error
+	etaP.ForEach(func(key string, p float64) {
+		if ierr != nil {
+			return
+		}
+		next, err := FromKey(key)
+		if err != nil {
+			ierr = err
+			return
+		}
+		// η_nr: φ is created with probability 1, each at its start state.
+		for _, id := range created {
+			aut, _ := reg.Lookup(id)
+			next = next.With(id, aut.Start())
+		}
+		// η_r: reduce (destruction of empty-signature automata).
+		red, err := next.Reduce(reg)
+		if err != nil {
+			ierr = err
+			return
+		}
+		out.Add(red.Key(), p)
+	})
+	if ierr != nil {
+		return nil, ierr
+	}
+	return out, nil
+}

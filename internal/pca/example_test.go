@@ -1,0 +1,71 @@
+package pca_test
+
+import (
+	"fmt"
+
+	"repro/internal/pca"
+	"repro/internal/psioa"
+	"repro/internal/testaut"
+)
+
+// ExampleNew builds a configuration automaton whose action dynamically
+// creates a sub-automaton (Def 2.14) which is destroyed again when its
+// signature empties out (Def 2.12).
+func ExampleNew() {
+	reg := pca.MapRegistry{}.Register(
+		testaut.Coin("worker", 1.0), // always heads, then done (empty sig)
+	)
+	ctrl := psioa.NewBuilder("ctrl", "c0").
+		AddState("c0", psioa.NewSignature(nil, []psioa.Action{"spawn"}, nil)).
+		AddState("c1", psioa.NewSignature(nil, []psioa.Action{"idle"}, nil)).
+		AddDet("c0", "spawn", "c1").
+		AddDet("c1", "idle", "c1").
+		MustBuild()
+	reg.Register(ctrl)
+
+	host, err := pca.New("host", reg,
+		pca.NewConfig(map[string]psioa.State{"ctrl": "c0"}),
+		pca.WithCreated(func(c *pca.Config, a psioa.Action) []string {
+			if a == "spawn" && !c.Has("worker") {
+				return []string{"worker"}
+			}
+			return nil
+		}))
+	if err != nil {
+		panic(err)
+	}
+
+	q := host.Start()
+	fmt.Println("start:      ", host.Config(q))
+	q = host.Trans(q, "spawn").Support()[0]
+	fmt.Println("after spawn:", host.Config(q))
+	q = host.Trans(q, "flip_worker").Support()[0]
+	q = host.Trans(q, "heads_worker").Support()[0]
+	fmt.Println("after work: ", host.Config(q))
+	// Output:
+	// start:       {ctrl:c0}
+	// after spawn: {ctrl:c1, worker:q0}
+	// after work:  {ctrl:c1}
+}
+
+// ExampleIntrinsicTrans shows the raw dynamic transition of Def 2.14:
+// creation injects the new automaton at its start state; reduction removes
+// destroyed ones.
+func ExampleIntrinsicTrans() {
+	reg := pca.MapRegistry{}.Register(
+		testaut.Coin("a", 1.0),
+		testaut.Coin("b", 1.0),
+	)
+	c := pca.NewConfig(map[string]psioa.State{"a": "h"})
+	// a announces heads (and dies); b is created simultaneously.
+	eta, err := pca.IntrinsicTrans(reg, c, "heads_a", []string{"b"})
+	if err != nil {
+		panic(err)
+	}
+	for _, key := range eta.Support() {
+		next, _ := pca.FromKey(key)
+		fmt.Println(next)
+	}
+	// Output:
+	// {b:q0}
+}

@@ -1,0 +1,165 @@
+package pca
+
+import (
+	"fmt"
+
+	"repro/internal/measure"
+	"repro/internal/psioa"
+)
+
+// PCA is a probabilistic configuration automaton (Def 2.16): a PSIOA whose
+// states are linked to reduced compatible configurations, together with a
+// creation mapping and a hidden-actions mapping.
+type PCA interface {
+	psioa.PSIOA
+	// Config returns config(X)(q), the reduced compatible configuration
+	// linked to state q.
+	Config(q psioa.State) *Config
+	// Created returns created(X)(q)(a), the identifiers created by action a
+	// at state q.
+	Created(q psioa.State, a psioa.Action) []string
+	// HiddenActions returns hidden-actions(X)(q) ⊆ out(config(X)(q)).
+	HiddenActions(q psioa.State) psioa.ActionSet
+	// Registry returns the identifier → automaton mapping in scope for this
+	// PCA's configurations.
+	Registry() Registry
+}
+
+// ConfigAutomaton is the standard PCA constructor: a PCA whose states *are*
+// canonical configuration encodings, whose transitions are exactly the
+// intrinsic transitions of Def 2.14, and whose hiding/creation mappings are
+// supplied as functions of the decoded configuration. By construction it
+// satisfies PCA constraints 1–4 of Def 2.16 (config is the identity-like
+// decoding, so the top/down and bottom/up simulations are equalities);
+// Validate/ValidatePCA re-check this mechanically.
+type ConfigAutomaton struct {
+	id   string
+	reg  Registry
+	init *Config
+	// createdFn maps (configuration, action) to the created identifiers;
+	// nil means nothing is ever created.
+	createdFn func(c *Config, a psioa.Action) []string
+	// hiddenFn maps a configuration to the outputs hidden at that state;
+	// nil means nothing is hidden.
+	hiddenFn func(c *Config) psioa.ActionSet
+}
+
+// Option customises a ConfigAutomaton.
+type Option func(*ConfigAutomaton)
+
+// WithCreated installs the creation mapping.
+func WithCreated(f func(c *Config, a psioa.Action) []string) Option {
+	return func(x *ConfigAutomaton) { x.createdFn = f }
+}
+
+// WithHidden installs the hidden-actions mapping.
+func WithHidden(f func(c *Config) psioa.ActionSet) Option {
+	return func(x *ConfigAutomaton) { x.hiddenFn = f }
+}
+
+// New builds a ConfigAutomaton with the given initial configuration. The
+// initial configuration must be compatible and reduced, and — per PCA
+// constraint 1 (start states preservation) — every constituent must be at
+// its own start state.
+func New(id string, reg Registry, init *Config, opts ...Option) (*ConfigAutomaton, error) {
+	if err := init.Compatible(reg); err != nil {
+		return nil, err
+	}
+	reduced, err := init.IsReduced(reg)
+	if err != nil {
+		return nil, err
+	}
+	if !reduced {
+		return nil, fmt.Errorf("pca: initial configuration %v is not reduced", init)
+	}
+	for _, id2 := range init.Auts() {
+		aut, ok := reg.Lookup(id2)
+		if !ok {
+			return nil, fmt.Errorf("pca: automaton %q not in registry", id2)
+		}
+		q, _ := init.StateOf(id2)
+		if q != aut.Start() {
+			return nil, fmt.Errorf("pca: constraint 1 violated: %q starts at %q, configuration has %q", id2, aut.Start(), q)
+		}
+	}
+	x := &ConfigAutomaton{id: id, reg: reg, init: init}
+	for _, o := range opts {
+		o(x)
+	}
+	return x, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(id string, reg Registry, init *Config, opts ...Option) *ConfigAutomaton {
+	x, err := New(id, reg, init, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+// ID implements PSIOA.
+func (x *ConfigAutomaton) ID() string { return x.id }
+
+// Registry implements PCA.
+func (x *ConfigAutomaton) Registry() Registry { return x.reg }
+
+// Start implements PSIOA.
+func (x *ConfigAutomaton) Start() psioa.State { return psioa.State(x.init.Key()) }
+
+// Config implements PCA: states are configuration keys.
+func (x *ConfigAutomaton) Config(q psioa.State) *Config {
+	c, err := FromKey(string(q))
+	if err != nil {
+		panic(fmt.Sprintf("pca: %q: state %q is not a configuration key: %v", x.id, q, err))
+	}
+	return c
+}
+
+// HiddenActions implements PCA.
+func (x *ConfigAutomaton) HiddenActions(q psioa.State) psioa.ActionSet {
+	if x.hiddenFn == nil {
+		return psioa.NewActionSet()
+	}
+	return x.hiddenFn(x.Config(q))
+}
+
+// Created implements PCA.
+func (x *ConfigAutomaton) Created(q psioa.State, a psioa.Action) []string {
+	if x.createdFn == nil {
+		return nil
+	}
+	return x.createdFn(x.Config(q), a)
+}
+
+// Sig implements PSIOA per PCA constraint 4:
+// sig(X)(q) = hide(sig(config(X)(q)), hidden-actions(X)(q)).
+func (x *ConfigAutomaton) Sig(q psioa.State) psioa.Signature {
+	c := x.Config(q)
+	sig, err := c.Sig(x.reg)
+	if err != nil {
+		panic(err)
+	}
+	return psioa.HideSignature(sig, x.HiddenActions(q))
+}
+
+// CompatAt reports configuration compatibility at q.
+func (x *ConfigAutomaton) CompatAt(q psioa.State) error {
+	return x.Config(q).Compatible(x.reg)
+}
+
+// Trans implements PSIOA: the intrinsic transition of Def 2.14 with
+// φ = created(X)(q)(a), transported along the configuration encoding (the
+// top/down simulation of constraint 2 holds definitionally).
+func (x *ConfigAutomaton) Trans(q psioa.State, a psioa.Action) *psioa.Dist {
+	if !x.Sig(q).All().Has(a) {
+		panic(fmt.Sprintf("pca: %q: action %q not enabled at %q", x.id, a, q))
+	}
+	eta, err := IntrinsicTrans(x.reg, x.Config(q), a, x.Created(q, a))
+	if err != nil {
+		panic(err)
+	}
+	out := measure.New[psioa.State]()
+	eta.ForEach(func(key string, p float64) { out.Add(psioa.State(key), p) })
+	return out
+}

@@ -1,0 +1,313 @@
+// Package channel implements a one-time-pad secure message transmission
+// (SMT) protocol and its ideal functionality — the classic real/ideal pair
+// of simulation-based security, rendered as structured PSIOA (Section 4.7).
+// It is the main workload of the secure-emulation experiments (E7, E8).
+//
+// Real protocol Real(id): the environment submits a one-bit message
+// (send0/send1). The protocol samples a uniform pad bit internally and
+// transmits the ciphertext c = m ⊕ pad; the adversary observes c (adversary
+// outputs tap0/tap1) and may block delivery (adversary input block).
+// Otherwise the message is delivered verbatim (deliver0/deliver1).
+//
+// Ideal functionality Ideal(id): same environment interface, but the
+// adversary only learns *that* a message was sent (adversary output notify)
+// and may block it — never its content.
+//
+// Because the pad is uniform, the ciphertext is uniform independently of m,
+// so the eavesdropper simulator (SimFor) that fabricates a uniform
+// ciphertext achieves *perfect* (ε = 0) emulation. LeakyReal(id, δ) breaks
+// the pad with probability δ (transmitting m in clear), giving a family
+// whose emulation error is exactly calibrated for approximate
+// implementation and negligible-function experiments (δ = 2^−k).
+package channel
+
+import (
+	"fmt"
+
+	"repro/internal/measure"
+	"repro/internal/psioa"
+	"repro/internal/structured"
+)
+
+// Action name constructors; all actions are suffixed with the instance id
+// so several channel instances compose without clashes.
+func act(name, id string) psioa.Action { return psioa.Action(name + "_" + id) }
+
+// Send returns the environment input submitting message bit m.
+func Send(id string, m int) psioa.Action { return act(fmt.Sprintf("send%d", m), id) }
+
+// Deliver returns the environment output delivering message bit m.
+func Deliver(id string, m int) psioa.Action { return act(fmt.Sprintf("deliver%d", m), id) }
+
+// Tap returns the adversary output revealing ciphertext bit c (real
+// protocol only).
+func Tap(id string, c int) psioa.Action { return act(fmt.Sprintf("tap%d", c), id) }
+
+// Notify returns the adversary output signalling a message in transit
+// (ideal functionality only).
+func Notify(id string) psioa.Action { return act("notify", id) }
+
+// Block returns the adversary input suppressing delivery.
+func Block(id string) psioa.Action { return act("block", id) }
+
+// EnvActions returns the environment interface of either system.
+func EnvActions(id string) psioa.ActionSet {
+	return psioa.NewActionSet(Send(id, 0), Send(id, 1), Deliver(id, 0), Deliver(id, 1))
+}
+
+// Real returns the OTP real protocol as a structured automaton.
+func Real(id string) *structured.Structured { return LeakyReal(id, 0) }
+
+// LeakyReal returns the real protocol with a flawed pad: with probability
+// leak the message bit is transmitted in clear (pad = 0); with probability
+// 1−leak the pad is uniform. leak = 0 is the perfect OTP.
+func LeakyReal(id string, leak float64) *structured.Structured {
+	encrypt := act("encrypt", id)
+	b := psioa.NewBuilder("real_"+id, "init")
+	listen := []psioa.Action{Send(id, 0), Send(id, 1)}
+	b.AddState("init", psioa.NewSignature(listen, nil, nil))
+	for m := 0; m < 2; m++ {
+		have := psioa.State(fmt.Sprintf("have%d", m))
+		b.AddState(have, psioa.NewSignature(nil, nil, []psioa.Action{encrypt}))
+		b.AddDet("init", Send(id, m), have)
+		// Encrypt: ciphertext c = m ⊕ pad. Uniform pad → uniform c; a leak
+		// shifts mass onto c = m.
+		d := measure.New[psioa.State]()
+		pm := 0.5 + leak/2   // P(c = m): pad 0 with prob (1-leak)/2 + leak
+		d.Add(enc(m, m), pm) // clear
+		d.Add(enc(m, 1-m), 1-pm)
+		b.AddTrans(have, encrypt, d)
+	}
+	for m := 0; m < 2; m++ {
+		for c := 0; c < 2; c++ {
+			st := enc(m, c)
+			b.AddState(st, psioa.NewSignature(nil, []psioa.Action{Tap(id, c)}, nil))
+			sent := psioa.State(fmt.Sprintf("sent%d", m))
+			b.AddDet(st, Tap(id, c), sent)
+		}
+	}
+	for m := 0; m < 2; m++ {
+		sent := psioa.State(fmt.Sprintf("sent%d", m))
+		b.AddState(sent, psioa.NewSignature([]psioa.Action{Block(id)}, []psioa.Action{Deliver(id, m)}, nil))
+		b.AddDet(sent, Deliver(id, m), "done")
+		b.AddDet(sent, Block(id), "blocked")
+	}
+	b.AddState("done", psioa.NewSignature(listen, nil, nil))
+	b.AddState("blocked", psioa.NewSignature(listen, nil, nil))
+	for _, s := range []psioa.State{"done", "blocked"} {
+		for m := 0; m < 2; m++ {
+			b.AddDet(s, Send(id, m), s)
+		}
+	}
+	return structured.NewSet(b.MustBuild(), EnvActions(id))
+}
+
+func enc(m, c int) psioa.State { return psioa.State(fmt.Sprintf("ct_m%d_c%d", m, c)) }
+
+// Ideal returns the ideal secure-channel functionality as a structured
+// automaton.
+func Ideal(id string) *structured.Structured {
+	b := psioa.NewBuilder("ideal_"+id, "init")
+	listen := []psioa.Action{Send(id, 0), Send(id, 1)}
+	b.AddState("init", psioa.NewSignature(listen, nil, nil))
+	for m := 0; m < 2; m++ {
+		have := psioa.State(fmt.Sprintf("have%d", m))
+		sent := psioa.State(fmt.Sprintf("sent%d", m))
+		b.AddState(have, psioa.NewSignature(nil, []psioa.Action{Notify(id)}, nil))
+		b.AddState(sent, psioa.NewSignature([]psioa.Action{Block(id)}, []psioa.Action{Deliver(id, m)}, nil))
+		b.AddDet("init", Send(id, m), have)
+		b.AddDet(have, Notify(id), sent)
+		b.AddDet(sent, Deliver(id, m), "done")
+		b.AddDet(sent, Block(id), "blocked")
+	}
+	b.AddState("done", psioa.NewSignature(listen, nil, nil))
+	b.AddState("blocked", psioa.NewSignature(listen, nil, nil))
+	for _, s := range []psioa.State{"done", "blocked"} {
+		for m := 0; m < 2; m++ {
+			b.AddDet(s, Send(id, m), s)
+		}
+	}
+	return structured.NewSet(b.MustBuild(), EnvActions(id))
+}
+
+// Eavesdropper returns the passive adversary for Real(id): it observes the
+// ciphertext and announces its observation to the environment through the
+// external outputs guess0/guess1. It never blocks (but block remains in its
+// output signature so that it is a well-formed adversary driving all of
+// AI — it simply never schedules it... it must *enable* block to satisfy
+// Def 4.24's AI ⊆ out(Adv); the transition is a self-loop that is only
+// taken if a scheduler forces it).
+func Eavesdropper(id string) *psioa.Table {
+	taps := []psioa.Action{Tap(id, 0), Tap(id, 1)}
+	b := psioa.NewBuilder("eaves_"+id, "a0")
+	b.AddState("a0", psioa.NewSignature(taps, []psioa.Action{Block(id)}, nil))
+	b.AddDet("a0", Block(id), "a0")
+	for c := 0; c < 2; c++ {
+		saw := psioa.State(fmt.Sprintf("saw%d", c))
+		out := psioa.State(fmt.Sprintf("out%d", c))
+		b.AddState(saw, psioa.NewSignature(taps, []psioa.Action{act(fmt.Sprintf("guess%d", c), id), Block(id)}, nil))
+		b.AddDet("a0", Tap(id, c), saw)
+		b.AddDet(saw, act(fmt.Sprintf("guess%d", c), id), out)
+		b.AddDet(saw, Block(id), saw)
+		b.AddState(out, psioa.NewSignature(taps, []psioa.Action{Block(id)}, nil))
+		b.AddDet(out, Block(id), out)
+		for c2 := 0; c2 < 2; c2++ {
+			b.AddDet(saw, Tap(id, c2), saw)
+			b.AddDet(out, Tap(id, c2), out)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Guess returns the eavesdropper's external announcement of ciphertext c.
+func Guess(id string, c int) psioa.Action { return act(fmt.Sprintf("guess%d", c), id) }
+
+// SimFor returns the simulator for the eavesdropper against Ideal(id): on
+// notify it fabricates a uniform ciphertext observation and announces it
+// exactly as the eavesdropper would. Because the real ciphertext is uniform
+// (perfect OTP), the fabrication is perfectly indistinguishable.
+func SimFor(id string) *psioa.Table {
+	notify := []psioa.Action{Notify(id)}
+	fab := act("fabricate", id)
+	b := psioa.NewBuilder("sim_"+id, "s0")
+	b.AddState("s0", psioa.NewSignature(notify, []psioa.Action{Block(id)}, nil))
+	b.AddDet("s0", Block(id), "s0")
+	b.AddState("noted", psioa.NewSignature(notify, []psioa.Action{Block(id)}, []psioa.Action{fab}))
+	b.AddDet("s0", Notify(id), "noted")
+	b.AddDet("noted", Notify(id), "noted")
+	b.AddDet("noted", Block(id), "noted")
+	d := measure.New[psioa.State]()
+	d.Add("saw0", 0.5)
+	d.Add("saw1", 0.5)
+	b.AddTrans("noted", fab, d)
+	for c := 0; c < 2; c++ {
+		saw := psioa.State(fmt.Sprintf("saw%d", c))
+		out := psioa.State(fmt.Sprintf("out%d", c))
+		b.AddState(saw, psioa.NewSignature(notify, []psioa.Action{Guess(id, c), Block(id)}, nil))
+		b.AddDet(saw, Guess(id, c), out)
+		b.AddDet(saw, Block(id), saw)
+		b.AddDet(saw, Notify(id), saw)
+		b.AddState(out, psioa.NewSignature(notify, []psioa.Action{Block(id)}, nil))
+		b.AddDet(out, Block(id), out)
+		b.AddDet(out, Notify(id), out)
+	}
+	return b.MustBuild()
+}
+
+// Blocker returns the active adversary that blocks delivery as soon as it
+// observes traffic, and its ideal-side simulator counterpart is itself
+// (modulo the observation action): BlockerSim observes notify instead of
+// taps.
+func Blocker(id string) *psioa.Table {
+	taps := []psioa.Action{Tap(id, 0), Tap(id, 1)}
+	b := psioa.NewBuilder("blocker_"+id, "b0")
+	b.AddState("b0", psioa.NewSignature(taps, []psioa.Action{Block(id)}, nil))
+	b.AddDet("b0", Block(id), "b0")
+	b.AddState("armed", psioa.NewSignature(taps, []psioa.Action{Block(id)}, nil))
+	for c := 0; c < 2; c++ {
+		b.AddDet("b0", Tap(id, c), "armed")
+		b.AddDet("armed", Tap(id, c), "armed")
+	}
+	b.AddDet("armed", Block(id), "b0")
+	return b.MustBuild()
+}
+
+// BlockerSim is the blocker's simulator against the ideal functionality.
+func BlockerSim(id string) *psioa.Table {
+	notify := []psioa.Action{Notify(id)}
+	b := psioa.NewBuilder("blockersim_"+id, "b0")
+	b.AddState("b0", psioa.NewSignature(notify, []psioa.Action{Block(id)}, nil))
+	b.AddDet("b0", Block(id), "b0")
+	b.AddState("armed", psioa.NewSignature(notify, []psioa.Action{Block(id)}, nil))
+	b.AddDet("b0", Notify(id), "armed")
+	b.AddDet("armed", Notify(id), "armed")
+	b.AddDet("armed", Block(id), "b0")
+	return b.MustBuild()
+}
+
+// GPrefix is the fresh-name prefix used for adversary-action renamings of
+// channel instances (the g of Section 4.9).
+const GPrefix = "g_"
+
+// G returns the canonical adversary-action renaming of a channel instance:
+// every adversary action a maps to the fresh name GPrefix+a.
+func G(id string) map[psioa.Action]psioa.Action {
+	out := map[psioa.Action]psioa.Action{}
+	for _, a := range []psioa.Action{Tap(id, 0), Tap(id, 1), Block(id)} {
+		out[a] = psioa.Action(GPrefix + string(a))
+	}
+	return out
+}
+
+// DummySim returns the dummy simulator DSim for a channel instance: the
+// ideal-side adversary that makes hide(Real‖Dummy(Real,g), AAct_real) and
+// hide(Ideal‖DSim, AAct_ideal) indistinguishable. It consumes the ideal
+// functionality's notify, fabricates a uniform ciphertext observation and
+// re-emits it under the renamed name g(tap_c); renamed block commands
+// g(block) are forwarded to the functionality as block. It is the
+// per-component simulator the Theorem 4.30 construction composes.
+func DummySim(id string) *psioa.Table {
+	g := G(id)
+	gBlock := g[Block(id)]
+	fab := act("fabricate_sim", id)
+	ins := []psioa.Action{Notify(id), gBlock}
+	b := psioa.NewBuilder("dsim_"+id, "p0_fresh")
+	phases := []string{"fresh", "noted", "saw0", "saw1", "done"}
+	for _, pend := range []string{"p0", "p1"} {
+		for _, ph := range phases {
+			st := psioa.State(pend + "_" + ph)
+			var outs []psioa.Action
+			var ints []psioa.Action
+			if pend == "p1" {
+				outs = append(outs, Block(id))
+			}
+			switch ph {
+			case "noted":
+				ints = append(ints, fab)
+			case "saw0":
+				outs = append(outs, g[Tap(id, 0)])
+			case "saw1":
+				outs = append(outs, g[Tap(id, 1)])
+			}
+			b.AddState(st, psioa.NewSignature(ins, outs, ints))
+		}
+	}
+	for _, pend := range []string{"p0", "p1"} {
+		st := func(ph string) psioa.State { return psioa.State(pend + "_" + ph) }
+		// notify advances fresh → noted; elsewhere it is absorbed.
+		b.AddDet(st("fresh"), Notify(id), st("noted"))
+		for _, ph := range phases[1:] {
+			b.AddDet(st(ph), Notify(id), st(ph))
+		}
+		// fabricate flips the simulated ciphertext.
+		d := measure.New[psioa.State]()
+		d.Add(st("saw0"), 0.5)
+		d.Add(st("saw1"), 0.5)
+		b.AddTrans(st("noted"), fab, d)
+		// emit the fabricated observation.
+		b.AddDet(st("saw0"), g[Tap(id, 0)], st("done"))
+		b.AddDet(st("saw1"), g[Tap(id, 1)], st("done"))
+	}
+	for _, ph := range phases {
+		// g(block) arms the forward; block fires it.
+		b.AddDet(psioa.State("p0_"+ph), gBlock, psioa.State("p1_"+ph))
+		b.AddDet(psioa.State("p1_"+ph), gBlock, psioa.State("p1_"+ph))
+		b.AddDet(psioa.State("p1_"+ph), Block(id), psioa.State("p0_"+ph))
+	}
+	return b.MustBuild()
+}
+
+// Env returns the canonical distinguishing environment: it sends message m
+// and listens for deliveries and for the eavesdropper's announcements.
+func Env(id string, m int) *psioa.Table {
+	inputs := []psioa.Action{Deliver(id, 0), Deliver(id, 1), Guess(id, 0), Guess(id, 1)}
+	b := psioa.NewBuilder(fmt.Sprintf("env_%s_m%d", id, m), "e0")
+	b.AddState("e0", psioa.NewSignature(inputs, []psioa.Action{Send(id, m)}, nil))
+	b.AddState("sent", psioa.NewSignature(inputs, nil, nil))
+	b.AddDet("e0", Send(id, m), "sent")
+	for _, in := range inputs {
+		b.AddDet("e0", in, "e0")
+		b.AddDet("sent", in, "sent")
+	}
+	return b.MustBuild()
+}

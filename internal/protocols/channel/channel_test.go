@@ -1,0 +1,168 @@
+package channel_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/insight"
+	"repro/internal/protocols/channel"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/structured"
+)
+
+func TestRealValid(t *testing.T) {
+	r := channel.Real("x")
+	if err := structured.Validate(r, 1000); err != nil {
+		t.Fatal(err)
+	}
+	iface, err := adversary.InterfaceOf(r, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iface.AO.Equal(psioa.NewActionSet(channel.Tap("x", 0), channel.Tap("x", 1))) {
+		t.Errorf("AO = %v", iface.AO)
+	}
+	if !iface.AI.Equal(psioa.NewActionSet(channel.Block("x"))) {
+		t.Errorf("AI = %v", iface.AI)
+	}
+}
+
+func TestIdealValid(t *testing.T) {
+	i := channel.Ideal("x")
+	if err := structured.Validate(i, 1000); err != nil {
+		t.Fatal(err)
+	}
+	iface, err := adversary.InterfaceOf(i, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iface.AO.Equal(psioa.NewActionSet(channel.Notify("x"))) {
+		t.Errorf("AO = %v", iface.AO)
+	}
+}
+
+func TestCiphertextUniform(t *testing.T) {
+	// Perfect OTP: P(tap0) = P(tap1) = 1/2 regardless of the message.
+	for m := 0; m < 2; m++ {
+		r := channel.Real("x")
+		w := psioa.MustCompose(channel.Env("x", m), r)
+		s := &sched.Sequence{A: w, Acts: []psioa.Action{
+			channel.Send("x", m), psioa.Action("encrypt_x"), channel.Tap("x", 0),
+		}}
+		em, err := sched.Measure(w, s, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawTap := 0.0
+		em.ForEach(func(f *psioa.Frag, p float64) {
+			for _, a := range f.Actions() {
+				if a == channel.Tap("x", 0) {
+					sawTap += p
+				}
+			}
+		})
+		if math.Abs(sawTap-0.5) > 1e-9 {
+			t.Errorf("m=%d: P(tap0 fires) = %v, want 0.5", m, sawTap)
+		}
+	}
+}
+
+func TestLeakyBias(t *testing.T) {
+	// leak = 0.5 ⇒ P(c = m) = 0.75.
+	r := channel.LeakyReal("x", 0.5)
+	w := psioa.MustCompose(channel.Env("x", 1), r)
+	s := &sched.Sequence{A: w, Acts: []psioa.Action{
+		channel.Send("x", 1), psioa.Action("encrypt_x"), channel.Tap("x", 1),
+	}}
+	em, err := sched.Measure(w, s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawMatch := 0.0
+	em.ForEach(func(f *psioa.Frag, p float64) {
+		for _, a := range f.Actions() {
+			if a == channel.Tap("x", 1) {
+				sawMatch += p
+			}
+		}
+	})
+	if math.Abs(sawMatch-0.75) > 1e-9 {
+		t.Errorf("P(c=m) = %v, want 0.75", sawMatch)
+	}
+}
+
+func TestEavesdropperIsAdversary(t *testing.T) {
+	if err := adversary.IsAdversaryFor(channel.Eavesdropper("x"), channel.Real("x"), 5000); err != nil {
+		t.Errorf("eavesdropper rejected: %v", err)
+	}
+	// The eavesdropper speaks tap actions, which the ideal system lacks —
+	// it is still formally an adversary for Ideal (taps never fire), but
+	// SimFor is the meaningful ideal-side adversary.
+	if err := adversary.IsAdversaryFor(channel.SimFor("x"), channel.Ideal("x"), 5000); err != nil {
+		t.Errorf("simulator rejected as ideal-side adversary: %v", err)
+	}
+}
+
+func TestBlockerIsAdversary(t *testing.T) {
+	if err := adversary.IsAdversaryFor(channel.Blocker("x"), channel.Real("x"), 5000); err != nil {
+		t.Errorf("blocker rejected: %v", err)
+	}
+	if err := adversary.IsAdversaryFor(channel.BlockerSim("x"), channel.Ideal("x"), 5000); err != nil {
+		t.Errorf("blocker sim rejected: %v", err)
+	}
+}
+
+func TestDeliveryEndToEnd(t *testing.T) {
+	// Without adversary interference the message is delivered faithfully.
+	for m := 0; m < 2; m++ {
+		r := channel.Real("x")
+		w := psioa.MustCompose(channel.Env("x", m), r)
+		// Locally-controlled priority scheduling: taps fire only when the
+		// protocol actually outputs them, so the run always completes.
+		s := &sched.Priority{A: w, LocalOnly: true, Bound: 5, Order: []psioa.Action{
+			channel.Send("x", m), psioa.Action("encrypt_x"),
+			channel.Tap("x", 0), channel.Tap("x", 1),
+			channel.Deliver("x", m),
+		}}
+		d, err := insight.FDist(w, s, insight.Accept(channel.Deliver("x", m)), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d.P("1")-1) > 1e-9 {
+			t.Errorf("m=%d: delivery probability = %v, want 1", m, d.P("1"))
+		}
+	}
+}
+
+func TestBlockSuppressesDelivery(t *testing.T) {
+	r := channel.Real("x")
+	w := psioa.MustCompose(channel.Env("x", 0), r, channel.Blocker("x"))
+	s := &sched.Priority{A: w, LocalOnly: true, Bound: 5, Order: []psioa.Action{
+		channel.Send("x", 0), psioa.Action("encrypt_x"),
+		channel.Tap("x", 0), channel.Tap("x", 1),
+		channel.Block("x"), channel.Deliver("x", 0),
+	}}
+	d, err := insight.FDist(w, s, insight.Accept(channel.Deliver("x", 0)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.P("1") > 0 {
+		t.Errorf("delivery observed after block: %v", d)
+	}
+}
+
+func TestTwoInstancesCompose(t *testing.T) {
+	r1, r2 := channel.Real("a"), channel.Real("b")
+	comp, err := structured.Compose(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := structured.Validate(comp, 20000); err != nil {
+		t.Fatal(err)
+	}
+	if err := structured.CheckCompatible(20000, r1, r2); err != nil {
+		t.Errorf("instances not structured-compatible: %v", err)
+	}
+}

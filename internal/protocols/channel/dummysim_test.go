@@ -1,0 +1,103 @@
+package channel_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/protocols/channel"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+)
+
+func TestGMapShape(t *testing.T) {
+	g := channel.G("x")
+	if len(g) != 3 {
+		t.Fatalf("G has %d entries, want 3", len(g))
+	}
+	for from, to := range g {
+		if string(to) != channel.GPrefix+string(from) {
+			t.Errorf("G(%s) = %s", from, to)
+		}
+	}
+}
+
+func TestDummySimValid(t *testing.T) {
+	ds := channel.DummySim("x")
+	if err := psioa.Validate(ds, 1000); err != nil {
+		t.Fatal(err)
+	}
+	// It is an adversary for the ideal functionality.
+	if err := adversary.IsAdversaryFor(ds, channel.Ideal("x"), 50000); err != nil {
+		t.Errorf("DummySim rejected as ideal-side adversary: %v", err)
+	}
+}
+
+func TestDummySimFabricationUniform(t *testing.T) {
+	// After notify and fabricate, the simulated observation is uniform.
+	ds := channel.DummySim("x")
+	q := ds.Trans(ds.Start(), channel.Notify("x")).Support()[0]
+	d := ds.Trans(q, "fabricate_sim_x")
+	if d.Len() != 2 {
+		t.Fatalf("fabrication support = %d", d.Len())
+	}
+	for _, q2 := range d.Support() {
+		if math.Abs(d.P(q2)-0.5) > 1e-9 {
+			t.Errorf("P(%s) = %v, want 0.5", q2, d.P(q2))
+		}
+	}
+}
+
+func TestDummySimBlockForwarding(t *testing.T) {
+	ds := channel.DummySim("x")
+	g := channel.G("x")
+	gBlock := g[channel.Block("x")]
+	// g(block) arms the forward; block fires and clears it.
+	q := ds.Trans(ds.Start(), gBlock).Support()[0]
+	if !ds.Sig(q).Out.Has(channel.Block("x")) {
+		t.Fatalf("block not armed at %q", q)
+	}
+	q2 := ds.Trans(q, channel.Block("x")).Support()[0]
+	if ds.Sig(q2).Out.Has(channel.Block("x")) {
+		t.Error("block not cleared after forwarding")
+	}
+	// Re-arming is idempotent.
+	q3 := ds.Trans(q, gBlock).Support()[0]
+	if !ds.Sig(q3).Out.Has(channel.Block("x")) {
+		t.Error("re-arming lost the pending block")
+	}
+}
+
+func TestBlockerNeverGuesses(t *testing.T) {
+	// The blocker has no environment-visible outputs besides block itself
+	// (which is hidden by the emulation construction): its composition with
+	// the real channel yields env traces without guess actions.
+	w := psioa.MustCompose(channel.Env("x", 0), channel.Real("x"), channel.Blocker("x"))
+	s := &sched.Random{A: w, Bound: 8, LocalOnly: true}
+	em, err := sched.Measure(w, s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.ForEach(func(f *psioa.Frag, p float64) {
+		for _, a := range f.Actions() {
+			if a == channel.Guess("x", 0) || a == channel.Guess("x", 1) {
+				t.Fatalf("blocker guessed: %v", f)
+			}
+		}
+	})
+}
+
+func TestLeakyRealExtremes(t *testing.T) {
+	// leak = 1: the ciphertext always equals the message.
+	r := channel.LeakyReal("x", 1)
+	if err := psioa.Validate(r, 1000); err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 2; m++ {
+		q := r.Trans("init", channel.Send("x", m)).Support()[0]
+		d := r.Trans(q, "encrypt_x")
+		if d.Len() != 1 {
+			t.Fatalf("m=%d: leak=1 support = %d, want 1", m, d.Len())
+		}
+	}
+}

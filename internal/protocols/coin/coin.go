@@ -1,0 +1,78 @@
+// Package coin implements a family of coin-flipping protocols used by the
+// approximate-implementation experiments (E4–E6): an ideal fair coin and
+// leaky variants whose bias decays with the security parameter. A biased
+// coin ε-implements the fair coin with ε exactly equal to its bias offset,
+// which makes the family a precise calibration source for the transitivity
+// (ε₁₃ = ε₁₂ + ε₂₃) and negligible-function experiments.
+package coin
+
+import (
+	"fmt"
+
+	"repro/internal/bounded"
+	"repro/internal/measure"
+	"repro/internal/psioa"
+)
+
+// Flip returns the environment trigger action of instance id.
+func Flip(id string) psioa.Action { return psioa.Action("flip_" + id) }
+
+// Result returns the outcome announcement action of instance id.
+func Result(id string, bit int) psioa.Action {
+	return psioa.Action(fmt.Sprintf("result%d_%s", bit, id))
+}
+
+// Flipper returns a coin protocol: on the environment input flip it samples
+// a bit with the given probability of 1 and announces result1/result0.
+func Flipper(id string, p1 float64) *psioa.Table {
+	flip := Flip(id)
+	b := psioa.NewBuilder("coin_"+id, "idle")
+	b.AddState("idle", psioa.NewSignature([]psioa.Action{flip}, nil, nil))
+	d := measure.New[psioa.State]()
+	d.Add("one", p1)
+	d.Add("zero", 1-p1)
+	b.AddTrans("idle", flip, d)
+	for bit, st := range map[int]psioa.State{0: "zero", 1: "one"} {
+		b.AddState(st, psioa.NewSignature([]psioa.Action{flip}, []psioa.Action{Result(id, bit)}, nil))
+		b.AddDet(st, Result(id, bit), "done")
+		b.AddDet(st, flip, st)
+	}
+	b.AddState("done", psioa.NewSignature([]psioa.Action{flip}, nil, nil))
+	b.AddDet("done", flip, "done")
+	return b.MustBuild()
+}
+
+// Fair returns the ideal fair coin.
+func Fair(id string) *psioa.Table { return Flipper(id, 0.5) }
+
+// Leaky returns the k-th member of the leaky family: bias offset 2^−k.
+// Leaky(id, k) implements Fair(id) with ε(k) = 2^−k, a negligible function.
+func Leaky(id string, k int) *psioa.Table {
+	return Flipper(id, 0.5+bounded.Negl(2)(k))
+}
+
+// Family returns the leaky coin family (A_k) = Leaky(id, k), suitable for
+// the family-level checks of Lemmas 4.14/4.15.
+func Family(id string) bounded.Family {
+	return func(k int) psioa.PSIOA { return Leaky(id, k) }
+}
+
+// FairFamily returns the constant family of fair coins.
+func FairFamily(id string) bounded.Family {
+	return func(k int) psioa.PSIOA { return Fair(id) }
+}
+
+// Env returns the canonical environment: it triggers one flip and listens
+// for results.
+func Env(id string) *psioa.Table {
+	inputs := []psioa.Action{Result(id, 0), Result(id, 1)}
+	b := psioa.NewBuilder("coinenv_"+id, "e0")
+	b.AddState("e0", psioa.NewSignature(inputs, []psioa.Action{Flip(id)}, nil))
+	b.AddState("waiting", psioa.NewSignature(inputs, nil, nil))
+	b.AddDet("e0", Flip(id), "waiting")
+	for _, in := range inputs {
+		b.AddDet("e0", in, "e0")
+		b.AddDet("waiting", in, "waiting")
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,72 @@
+package coin_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/insight"
+	"repro/internal/protocols/coin"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+)
+
+func TestFlipperValid(t *testing.T) {
+	for _, p := range []float64{0, 0.25, 0.5, 1} {
+		if err := psioa.Validate(coin.Flipper("x", p), 100); err != nil {
+			t.Errorf("p=%v: %v", p, err)
+		}
+	}
+}
+
+func TestFlipperDistribution(t *testing.T) {
+	c := coin.Flipper("x", 0.25)
+	w := psioa.MustCompose(coin.Env("x"), c)
+	s := &sched.Greedy{A: w, Bound: 3, LocalOnly: true}
+	d, err := insight.FDist(w, s, insight.Accept(coin.Result("x", 1)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.P("1")-0.25) > 1e-9 {
+		t.Errorf("P(result1) = %v, want 0.25", d.P("1"))
+	}
+}
+
+func TestLeakyBiasDecays(t *testing.T) {
+	measureBias := func(k int) float64 {
+		c := coin.Leaky("x", k)
+		w := psioa.MustCompose(coin.Env("x"), c)
+		s := &sched.Greedy{A: w, Bound: 3, LocalOnly: true}
+		d, err := insight.FDist(w, s, insight.Accept(coin.Result("x", 1)), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.P("1") - 0.5
+	}
+	for k := 1; k <= 8; k++ {
+		want := math.Pow(2, -float64(k))
+		if got := measureBias(k); math.Abs(got-want) > 1e-9 {
+			t.Errorf("k=%d: bias = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	fam := coin.Family("x")
+	if fam(3).ID() != "coin_x" {
+		t.Errorf("family member ID = %q", fam(3).ID())
+	}
+	fair := coin.FairFamily("x")
+	if fair(1).ID() != fair(9).ID() {
+		t.Error("fair family should be constant")
+	}
+}
+
+func TestEnvListens(t *testing.T) {
+	e := coin.Env("x")
+	if !e.Sig("e0").Out.Has(coin.Flip("x")) {
+		t.Error("env does not trigger the flip")
+	}
+	if !e.Sig("waiting").In.Has(coin.Result("x", 0)) {
+		t.Error("env does not listen for results")
+	}
+}

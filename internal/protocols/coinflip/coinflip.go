@@ -1,0 +1,326 @@
+// Package coinflip implements the classic distributed XOR coin-flipping
+// protocol and three ideal functionalities, demonstrating both a positive
+// and a calibrated *negative* security result in the framework:
+//
+//   - against a passive (eavesdropping) adversary, the protocol securely
+//     emulates the strong ideal coin (ε = 0): each player's share is
+//     uniform, so a simulator can fabricate a consistent transcript from
+//     the announced outcome alone;
+//   - against a *rushing* adversary that corrupts the last player and
+//     chooses its share after seeing the others, the protocol does NOT
+//     emulate the strong ideal coin — the outcome is fully biased and the
+//     emulation check fails by exactly 1/2;
+//   - the same rushing adversary is perfectly simulated against the *weak*
+//     ideal coin, whose adversary interface allows the outcome to be set —
+//     the standard "XOR coin flipping realises only the biasable coin"
+//     statement, here as an executable fact.
+//
+// The real protocol is a genuine composition: one automaton per player plus
+// an aggregator, assembled with the framework's parallel composition.
+package coinflip
+
+import (
+	"fmt"
+
+	"repro/internal/measure"
+	"repro/internal/psioa"
+	"repro/internal/structured"
+)
+
+// Share returns player i's share announcement of bit b.
+func Share(id string, i, b int) psioa.Action {
+	return psioa.Action(fmt.Sprintf("share%d_%d_%s", i, b, id))
+}
+
+// Result returns the protocol's public outcome announcement.
+func Result(id string, b int) psioa.Action {
+	return psioa.Action(fmt.Sprintf("result%d_%s", b, id))
+}
+
+// Announce returns the ideal functionality's outcome leak to the adversary.
+func Announce(id string, b int) psioa.Action {
+	return psioa.Action(fmt.Sprintf("announce%d_%s", b, id))
+}
+
+// Bias returns the weak ideal functionality's adversary input forcing the
+// outcome.
+func Bias(id string, b int) psioa.Action {
+	return psioa.Action(fmt.Sprintf("bias%d_%s", b, id))
+}
+
+// See returns the passive adversary's relay of player i's share.
+func See(id string, i, b int) psioa.Action {
+	return psioa.Action(fmt.Sprintf("see%d_%d_%s", i, b, id))
+}
+
+// EnvActions returns the environment interface (the public outcome).
+func EnvActions(id string) psioa.ActionSet {
+	return psioa.NewActionSet(Result(id, 0), Result(id, 1))
+}
+
+// Player builds player i: it picks a uniform bit internally and announces
+// its share.
+func Player(id string, i int) *psioa.Table {
+	pick := psioa.Action(fmt.Sprintf("pick%d_%s", i, id))
+	b := psioa.NewBuilder(fmt.Sprintf("player%d_%s", i, id), "p0")
+	b.AddState("p0", psioa.NewSignature(nil, nil, []psioa.Action{pick}))
+	d := measure.New[psioa.State]()
+	d.Add("bit0", 0.5)
+	d.Add("bit1", 0.5)
+	b.AddTrans("p0", pick, d)
+	for bit := 0; bit < 2; bit++ {
+		st := psioa.State(fmt.Sprintf("bit%d", bit))
+		b.AddState(st, psioa.NewSignature(nil, []psioa.Action{Share(id, i, bit)}, nil))
+		b.AddDet(st, Share(id, i, bit), "sent")
+	}
+	b.AddState("sent", psioa.EmptySignature())
+	return b.MustBuild()
+}
+
+// Aggregator builds the referee: it listens for one share from each of the
+// n players (in any order) and announces the XOR of the received bits.
+func Aggregator(id string, n int) *psioa.Table {
+	b := psioa.NewBuilder("agg_"+id, aggSt(0, 0))
+	full := (1 << n) - 1
+	for mask := 0; mask <= full; mask++ {
+		for parity := 0; parity < 2; parity++ {
+			st := aggSt(mask, parity)
+			if mask == full {
+				b.AddState(st, psioa.NewSignature(nil, []psioa.Action{Result(id, parity)}, nil))
+				b.AddDet(st, Result(id, parity), "fin")
+				continue
+			}
+			var ins []psioa.Action
+			for i := 1; i <= n; i++ {
+				if mask&(1<<(i-1)) == 0 {
+					ins = append(ins, Share(id, i, 0), Share(id, i, 1))
+				}
+			}
+			b.AddState(st, psioa.NewSignature(ins, nil, nil))
+			for i := 1; i <= n; i++ {
+				if mask&(1<<(i-1)) != 0 {
+					continue
+				}
+				for bit := 0; bit < 2; bit++ {
+					b.AddDet(st, Share(id, i, bit), aggSt(mask|1<<(i-1), parity^bit))
+				}
+			}
+		}
+	}
+	b.AddState("fin", psioa.EmptySignature())
+	return b.MustBuild()
+}
+
+func aggSt(mask, parity int) psioa.State {
+	return psioa.State(fmt.Sprintf("m%d_p%d", mask, parity))
+}
+
+// Real builds the honest n-player protocol: players 1..n composed with the
+// aggregator, structured so that only the result is environment-facing
+// (shares are adversary-observable).
+func Real(id string, n int) *structured.Structured {
+	auts := make([]psioa.PSIOA, 0, n+1)
+	for i := 1; i <= n; i++ {
+		auts = append(auts, Player(id, i))
+	}
+	auts = append(auts, Aggregator(id, n))
+	return structured.NewSet(psioa.MustCompose(auts...), EnvActions(id))
+}
+
+// RealCorrupt builds the protocol with player n corrupted: players 1..n-1
+// and the aggregator remain; player n's share becomes an adversary *input*
+// (the adversary supplies it — and a rushing adversary supplies it after
+// seeing the honest shares).
+func RealCorrupt(id string, n int) *structured.Structured {
+	auts := make([]psioa.PSIOA, 0, n)
+	for i := 1; i < n; i++ {
+		auts = append(auts, Player(id, i))
+	}
+	auts = append(auts, Aggregator(id, n))
+	return structured.NewSet(psioa.MustCompose(auts...), EnvActions(id))
+}
+
+// Ideal builds the strong ideal coin: it tosses internally, leaks the
+// outcome to the adversary (announce) and then publishes it (result). The
+// adversary has no influence.
+func Ideal(id string) *structured.Structured {
+	toss := psioa.Action("toss_" + id)
+	b := psioa.NewBuilder("idealflip_"+id, "i0")
+	b.AddState("i0", psioa.NewSignature(nil, nil, []psioa.Action{toss}))
+	d := measure.New[psioa.State]()
+	d.Add("t0", 0.5)
+	d.Add("t1", 0.5)
+	b.AddTrans("i0", toss, d)
+	for bit := 0; bit < 2; bit++ {
+		tSt := psioa.State(fmt.Sprintf("t%d", bit))
+		rSt := psioa.State(fmt.Sprintf("r%d", bit))
+		b.AddState(tSt, psioa.NewSignature(nil, []psioa.Action{Announce(id, bit)}, nil))
+		b.AddDet(tSt, Announce(id, bit), rSt)
+		b.AddState(rSt, psioa.NewSignature(nil, []psioa.Action{Result(id, bit)}, nil))
+		b.AddDet(rSt, Result(id, bit), "fin")
+	}
+	b.AddState("fin", psioa.EmptySignature())
+	return structured.NewSet(b.MustBuild(), EnvActions(id))
+}
+
+// WeakIdeal builds the biasable ideal coin: before the internal toss the
+// adversary may force the outcome (bias inputs). This is the functionality
+// XOR coin flipping actually realises against rushing adversaries.
+func WeakIdeal(id string) *structured.Structured {
+	toss := psioa.Action("toss_" + id)
+	biases := []psioa.Action{Bias(id, 0), Bias(id, 1)}
+	b := psioa.NewBuilder("weakflip_"+id, "i0")
+	b.AddState("i0", psioa.NewSignature(biases, nil, []psioa.Action{toss}))
+	d := measure.New[psioa.State]()
+	d.Add("t0", 0.5)
+	d.Add("t1", 0.5)
+	b.AddTrans("i0", toss, d)
+	for bit := 0; bit < 2; bit++ {
+		b.AddDet("i0", Bias(id, bit), psioa.State(fmt.Sprintf("t%d", bit)))
+		tSt := psioa.State(fmt.Sprintf("t%d", bit))
+		rSt := psioa.State(fmt.Sprintf("r%d", bit))
+		b.AddState(tSt, psioa.NewSignature(nil, []psioa.Action{Announce(id, bit)}, nil))
+		b.AddDet(tSt, Announce(id, bit), rSt)
+		b.AddState(rSt, psioa.NewSignature(nil, []psioa.Action{Result(id, bit)}, nil))
+		b.AddDet(rSt, Result(id, bit), "fin")
+	}
+	b.AddState("fin", psioa.EmptySignature())
+	return structured.NewSet(b.MustBuild(), EnvActions(id))
+}
+
+// Relay builds the passive adversary component that relays player i's
+// share to the environment (see announcements). The full passive adversary
+// for Real(id, n) is the composition of the relays.
+func Relay(id string, i int) *psioa.Table {
+	ins := []psioa.Action{Share(id, i, 0), Share(id, i, 1)}
+	b := psioa.NewBuilder(fmt.Sprintf("relay%d_%s", i, id), "w")
+	b.AddState("w", psioa.NewSignature(ins, nil, nil))
+	for bit := 0; bit < 2; bit++ {
+		saw := psioa.State(fmt.Sprintf("saw%d", bit))
+		ann := psioa.State(fmt.Sprintf("ann%d", bit))
+		b.AddState(saw, psioa.NewSignature(ins, []psioa.Action{See(id, i, bit)}, nil))
+		b.AddDet("w", Share(id, i, bit), saw)
+		b.AddDet(saw, See(id, i, bit), ann)
+		b.AddState(ann, psioa.NewSignature(ins, nil, nil))
+		for _, in := range ins {
+			b.AddDet(saw, in, saw)
+			b.AddDet(ann, in, ann)
+		}
+	}
+	return b.MustBuild()
+}
+
+// PassiveAdv builds the full passive adversary for Real(id, n).
+func PassiveAdv(id string, n int) psioa.PSIOA {
+	auts := make([]psioa.PSIOA, n)
+	for i := 1; i <= n; i++ {
+		auts[i-1] = Relay(id, i)
+	}
+	return psioa.MustCompose(auts...)
+}
+
+// PassiveSim builds the simulator for PassiveAdv against Ideal(id) with
+// n = 2 players: on the announce leak it fabricates a uniform share for
+// player 1 and the XOR-consistent share for player 2, then relays both.
+func PassiveSim(id string) *psioa.Table {
+	ins := []psioa.Action{Announce(id, 0), Announce(id, 1)}
+	fab := psioa.Action("fabshare_" + id)
+	b := psioa.NewBuilder("flipsim_"+id, "w")
+	b.AddState("w", psioa.NewSignature(ins, nil, nil))
+	for outcome := 0; outcome < 2; outcome++ {
+		noted := psioa.State(fmt.Sprintf("noted%d", outcome))
+		b.AddState(noted, psioa.NewSignature(ins, nil, []psioa.Action{fab}))
+		b.AddDet("w", Announce(id, outcome), noted)
+		d := measure.New[psioa.State]()
+		d.Add(psioa.State(fmt.Sprintf("fab%d_0", outcome)), 0.5)
+		d.Add(psioa.State(fmt.Sprintf("fab%d_1", outcome)), 0.5)
+		b.AddTrans(noted, fab, d)
+		for c := 0; c < 2; c++ {
+			// Player 1 share = c, player 2 share = outcome ⊕ c.
+			s1 := psioa.State(fmt.Sprintf("fab%d_%d", outcome, c))
+			s2 := psioa.State(fmt.Sprintf("half%d_%d", outcome, c))
+			done := psioa.State(fmt.Sprintf("done%d_%d", outcome, c))
+			b.AddState(s1, psioa.NewSignature(ins, []psioa.Action{See(id, 1, c)}, nil))
+			b.AddDet(s1, See(id, 1, c), s2)
+			b.AddState(s2, psioa.NewSignature(ins, []psioa.Action{See(id, 2, outcome^c)}, nil))
+			b.AddDet(s2, See(id, 2, outcome^c), done)
+			b.AddState(done, psioa.NewSignature(ins, nil, nil))
+			for _, in := range ins {
+				b.AddDet(s1, in, s1)
+				b.AddDet(s2, in, s2)
+				b.AddDet(done, in, done)
+			}
+		}
+		for _, in := range ins {
+			b.AddDet(noted, in, noted)
+		}
+	}
+	return b.MustBuild()
+}
+
+// RushingAdv builds the rushing adversary for RealCorrupt(id, 2): it waits
+// for the honest player's share and answers with the complementary share,
+// forcing outcome 1.
+func RushingAdv(id string) *psioa.Table {
+	ins := []psioa.Action{Share(id, 1, 0), Share(id, 1, 1)}
+	b := psioa.NewBuilder("rusher_"+id, "w")
+	b.AddState("w", psioa.NewSignature(ins, nil, nil))
+	for bit := 0; bit < 2; bit++ {
+		saw := psioa.State(fmt.Sprintf("saw%d", bit))
+		sent := psioa.State(fmt.Sprintf("sent%d", bit))
+		b.AddState(saw, psioa.NewSignature(ins, []psioa.Action{Share(id, 2, 1^bit)}, nil))
+		b.AddDet("w", Share(id, 1, bit), saw)
+		b.AddDet(saw, Share(id, 2, 1^bit), sent)
+		b.AddState(sent, psioa.NewSignature(ins, nil, nil))
+		for _, in := range ins {
+			b.AddDet(saw, in, saw)
+			b.AddDet(sent, in, sent)
+		}
+	}
+	return b.MustBuild()
+}
+
+// RushSim builds the rushing adversary's simulator against WeakIdeal: it
+// simply forces the outcome to 1 through the bias interface (and absorbs
+// the announce leak).
+func RushSim(id string) *psioa.Table {
+	ins := []psioa.Action{Announce(id, 0), Announce(id, 1)}
+	b := psioa.NewBuilder("rushsim_"+id, "w")
+	b.AddState("w", psioa.NewSignature(ins, []psioa.Action{Bias(id, 1), Bias(id, 0)}, nil))
+	b.AddDet("w", Bias(id, 1), "forced")
+	b.AddDet("w", Bias(id, 0), "forced")
+	b.AddState("forced", psioa.NewSignature(ins, nil, nil))
+	for _, in := range ins {
+		b.AddDet("w", in, "w")
+		b.AddDet("forced", in, "forced")
+	}
+	return b.MustBuild()
+}
+
+// NullSim is the do-nothing ideal-side adversary (absorbs the announce
+// leak). It is the best a simulator can do against the strong ideal coin
+// when the real adversary rushes — and it fails by 1/2.
+func NullSim(id string) *psioa.Table {
+	ins := []psioa.Action{Announce(id, 0), Announce(id, 1)}
+	b := psioa.NewBuilder("nullsim_"+id, "w")
+	b.AddState("w", psioa.NewSignature(ins, nil, nil))
+	for _, in := range ins {
+		b.AddDet("w", in, "w")
+	}
+	return b.MustBuild()
+}
+
+// Env builds the distinguishing environment: it listens to the result and
+// to any relay announcements.
+func Env(id string) *psioa.Table {
+	inputs := []psioa.Action{
+		Result(id, 0), Result(id, 1),
+		See(id, 1, 0), See(id, 1, 1), See(id, 2, 0), See(id, 2, 1),
+	}
+	b := psioa.NewBuilder("flipenv_"+id, "e")
+	b.AddState("e", psioa.NewSignature(inputs, nil, nil))
+	for _, in := range inputs {
+		b.AddDet("e", in, "e")
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,217 @@
+package coinflip_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/insight"
+	"repro/internal/protocols/coinflip"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/structured"
+)
+
+func TestAutomataValid(t *testing.T) {
+	for _, a := range []psioa.PSIOA{
+		coinflip.Player("x", 1), coinflip.Aggregator("x", 2), coinflip.Aggregator("x", 3),
+		coinflip.Real("x", 2), coinflip.Real("x", 3), coinflip.RealCorrupt("x", 2),
+		coinflip.Ideal("x"), coinflip.WeakIdeal("x"),
+		coinflip.PassiveAdv("x", 2), coinflip.PassiveSim("x"),
+		coinflip.RushingAdv("x"), coinflip.RushSim("x"), coinflip.NullSim("x"),
+		coinflip.Env("x"),
+	} {
+		if err := psioa.Validate(a, 50000); err != nil {
+			t.Errorf("%s: %v", a.ID(), err)
+		}
+	}
+}
+
+func TestHonestOutcomeUniform(t *testing.T) {
+	// The XOR of independent fair shares is fair, for 2 and 3 players.
+	for _, n := range []int{2, 3} {
+		r := coinflip.Real("x", n)
+		w := psioa.MustCompose(coinflip.Env("x"), r)
+		ss, err := (&sched.PrefixPrioritySchema{Templates: [][]string{
+			{"pick", "share", "result"},
+		}}).Enumerate(w, 3*n+2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := insight.FDist(w, ss[0], insight.Accept(coinflip.Result("x", 1)), 4*n+4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d.P("1")-0.5) > 1e-9 {
+			t.Errorf("n=%d: P(result=1) = %v, want 0.5", n, d.P("1"))
+		}
+	}
+}
+
+func TestXORCorrectness(t *testing.T) {
+	// The aggregator computes the XOR: force shares via a corrupted-world
+	// aggregator driven directly by a scripted adversary.
+	agg := coinflip.Aggregator("x", 2)
+	q := agg.Start()
+	q = agg.Trans(q, coinflip.Share("x", 1, 1)).Support()[0]
+	q = agg.Trans(q, coinflip.Share("x", 2, 1)).Support()[0]
+	sig := agg.Sig(q)
+	if !sig.Out.Has(coinflip.Result("x", 0)) {
+		t.Errorf("1⊕1 should yield 0; sig = %v", sig)
+	}
+}
+
+func TestAdversaryInterfaces(t *testing.T) {
+	real := coinflip.Real("x", 2)
+	iface, err := adversary.InterfaceOf(real, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iface.AI) != 0 {
+		t.Errorf("honest protocol AI = %v", iface.AI)
+	}
+	wantAO := psioa.NewActionSet(
+		coinflip.Share("x", 1, 0), coinflip.Share("x", 1, 1),
+		coinflip.Share("x", 2, 0), coinflip.Share("x", 2, 1))
+	if !iface.AO.Equal(wantAO) {
+		t.Errorf("AO = %v", iface.AO)
+	}
+	corrupt := coinflip.RealCorrupt("x", 2)
+	ifc, err := adversary.InterfaceOf(corrupt, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAI := psioa.NewActionSet(coinflip.Share("x", 2, 0), coinflip.Share("x", 2, 1))
+	if !ifc.AI.Equal(wantAI) {
+		t.Errorf("corrupt AI = %v", ifc.AI)
+	}
+	if err := adversary.IsAdversaryFor(coinflip.RushingAdv("x"), corrupt, 50000); err != nil {
+		t.Errorf("rushing adversary rejected: %v", err)
+	}
+	if err := adversary.IsAdversaryFor(coinflip.PassiveAdv("x", 2), real, 50000); err != nil {
+		t.Errorf("passive adversary rejected: %v", err)
+	}
+	if err := adversary.IsAdversaryFor(coinflip.PassiveSim("x"), coinflip.Ideal("x"), 50000); err != nil {
+		t.Errorf("passive simulator rejected: %v", err)
+	}
+	if err := adversary.IsAdversaryFor(coinflip.RushSim("x"), coinflip.WeakIdeal("x"), 50000); err != nil {
+		t.Errorf("rush simulator rejected: %v", err)
+	}
+}
+
+func passiveOpts(eps float64) core.Options {
+	return core.Options{
+		Envs: []psioa.PSIOA{coinflip.Env("x")},
+		Schema: &sched.PrefixPrioritySchema{Templates: [][]string{
+			{"pick", "share", "see", "toss", "announce", "fabshare", "result"},
+			{"pick", "share", "see", "toss", "announce", "fabshare"},
+		}},
+		Insight: insight.Trace(),
+		Eps:     eps,
+		Q1:      12, Q2: 12,
+	}
+}
+
+func TestPassiveEmulation(t *testing.T) {
+	// Positive: against the passive adversary, XOR coin flipping securely
+	// emulates the strong ideal coin with ε = 0.
+	rep, err := core.SecureEmulates(coinflip.Real("x", 2), coinflip.Ideal("x"),
+		[]core.AdvSim{{Adv: coinflip.PassiveAdv("x", 2), Sim: coinflip.PassiveSim("x")}},
+		passiveOpts(0), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("passive emulation failed:\n%s", rep)
+		for _, r := range rep.PerAdv {
+			for _, f := range r.Failures() {
+				t.Logf("  %+v", f)
+			}
+		}
+	}
+}
+
+func rushingOpts(eps float64) core.Options {
+	return core.Options{
+		Envs: []psioa.PSIOA{coinflip.Env("x")},
+		Schema: &sched.PrefixPrioritySchema{Templates: [][]string{
+			{"pick", "share", "bias1", "toss", "announce", "result"},
+		}},
+		Insight: insight.Trace(),
+		Eps:     eps,
+		Q1:      10, Q2: 10,
+	}
+}
+
+func TestRushingBreaksStrongIdeal(t *testing.T) {
+	// Negative: the rushing adversary forces outcome 1; no simulator can
+	// bias the strong ideal coin, so emulation fails by exactly 1/2.
+	rep, err := core.SecureEmulates(coinflip.RealCorrupt("x", 2), coinflip.Ideal("x"),
+		[]core.AdvSim{{Adv: coinflip.RushingAdv("x"), Sim: coinflip.NullSim("x")}},
+		rushingOpts(0), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds {
+		t.Fatal("rushing adversary accepted against the strong ideal coin")
+	}
+	dist := 0.0
+	for _, r := range rep.PerAdv {
+		if r.MaxDist > dist {
+			dist = r.MaxDist
+		}
+	}
+	if math.Abs(dist-0.5) > 1e-9 {
+		t.Errorf("bias distance = %v, want exactly 0.5", dist)
+	}
+}
+
+func TestRushingSimulatedByWeakIdeal(t *testing.T) {
+	// Repair: against the weak (biasable) ideal coin, the rushing adversary
+	// is perfectly simulated by forcing the same outcome.
+	rep, err := core.SecureEmulates(coinflip.RealCorrupt("x", 2), coinflip.WeakIdeal("x"),
+		[]core.AdvSim{{Adv: coinflip.RushingAdv("x"), Sim: coinflip.RushSim("x")}},
+		rushingOpts(0), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("weak-ideal simulation failed:\n%s", rep)
+		for _, r := range rep.PerAdv {
+			for _, f := range r.Failures() {
+				t.Logf("  %+v", f)
+			}
+		}
+	}
+}
+
+func TestRushingForcesOutcome(t *testing.T) {
+	// Direct check of the attack: with the rushing adversary the result is
+	// always 1.
+	w := psioa.MustCompose(coinflip.Env("x"), coinflip.RealCorrupt("x", 2), coinflip.RushingAdv("x"))
+	ss, err := (&sched.PrefixPrioritySchema{Templates: [][]string{
+		{"pick", "share", "result"},
+	}}).Enumerate(w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := insight.FDist(w, ss[0], insight.Accept(coinflip.Result("x", 1)), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.P("1")-1) > 1e-9 {
+		t.Errorf("P(result=1) = %v, want 1 under the rushing attack", d.P("1"))
+	}
+}
+
+func TestStructuredViews(t *testing.T) {
+	real := coinflip.Real("x", 2)
+	q := real.Start()
+	if !real.EAct(q).Equal(psioa.NewActionSet()) {
+		t.Errorf("EAct at start = %v (result not yet offered)", real.EAct(q))
+	}
+	if err := structured.Validate(real, 50000); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,307 @@
+// Package commitment implements a perfectly-hiding bit commitment protocol
+// and its ideal functionality — the second worked real/ideal pair of the
+// repository, chosen because its simulator is *stateful*: unlike the
+// secure-channel eavesdropper simulator (which fabricates an independent
+// uniform observation), the commitment simulator must keep its fabricated
+// commit-phase observation consistent with the bit revealed at open time.
+// A subtly wrong simulator (fabricating an independent pad at open) fails
+// the emulation check by exactly 1/2 — a calibrated negative control.
+//
+// Real protocol: on commit_b, sample a uniform pad p and publish
+// c = b ⊕ p (adversary tap observation tapc). On open, publish the pad
+// (adversary observation tapp) and announce reveal_b. The commitment is
+// perfectly hiding (c is uniform regardless of b) and the transcript (c, p)
+// satisfies b = c ⊕ p.
+//
+// Ideal functionality: on commit_b, the adversary learns only that a
+// commitment happened (committed); on open, the adversary learns the bit
+// (opened_b — the standard commitment functionality reveals the bit to the
+// adversary at open) and the functionality announces reveal_b.
+package commitment
+
+import (
+	"fmt"
+
+	"repro/internal/measure"
+	"repro/internal/psioa"
+	"repro/internal/structured"
+)
+
+func act(name, id string) psioa.Action { return psioa.Action(name + "_" + id) }
+
+// Commit returns the environment input committing to bit b.
+func Commit(id string, b int) psioa.Action { return act(fmt.Sprintf("commit%d", b), id) }
+
+// Open returns the environment input starting the open phase.
+func Open(id string) psioa.Action { return act("open", id) }
+
+// Reveal returns the environment output announcing the opened bit.
+func Reveal(id string, b int) psioa.Action { return act(fmt.Sprintf("reveal%d", b), id) }
+
+// TapC returns the adversary observation of the commit-phase ciphertext.
+func TapC(id string, c int) psioa.Action { return act(fmt.Sprintf("tapc%d", c), id) }
+
+// TapP returns the adversary observation of the opened pad.
+func TapP(id string, p int) psioa.Action { return act(fmt.Sprintf("tapp%d", p), id) }
+
+// Committed returns the ideal functionality's commit-phase leak (existence
+// only).
+func Committed(id string) psioa.Action { return act("committed", id) }
+
+// Opened returns the ideal functionality's open-phase leak (the bit).
+func Opened(id string, b int) psioa.Action { return act(fmt.Sprintf("opened%d", b), id) }
+
+// EnvActions returns the shared environment interface.
+func EnvActions(id string) psioa.ActionSet {
+	return psioa.NewActionSet(
+		Commit(id, 0), Commit(id, 1), Open(id), Reveal(id, 0), Reveal(id, 1))
+}
+
+// Real returns the perfectly-hiding commitment protocol.
+func Real(id string) *structured.Structured {
+	blind := act("blind", id)
+	commits := []psioa.Action{Commit(id, 0), Commit(id, 1)}
+	b := psioa.NewBuilder("realcom_"+id, "init")
+	b.AddState("init", psioa.NewSignature(commits, nil, nil))
+	for bit := 0; bit < 2; bit++ {
+		have := psioa.State(fmt.Sprintf("have%d", bit))
+		b.AddState(have, psioa.NewSignature(nil, nil, []psioa.Action{blind}))
+		b.AddDet("init", Commit(id, bit), have)
+		// Uniform pad p; ciphertext c = bit ⊕ p.
+		d := measure.New[psioa.State]()
+		d.Add(comSt(bit, 0), 0.5) // p = bit (c = 0)... see comSt: state carries (bit, c)
+		d.Add(comSt(bit, 1), 0.5)
+		b.AddTrans(have, blind, d)
+	}
+	for bit := 0; bit < 2; bit++ {
+		for c := 0; c < 2; c++ {
+			st := comSt(bit, c)
+			committed := psioa.State(fmt.Sprintf("committed%d_%d", bit, c))
+			b.AddState(st, psioa.NewSignature(nil, []psioa.Action{TapC(id, c)}, nil))
+			b.AddDet(st, TapC(id, c), committed)
+			// Wait for the open instruction.
+			b.AddState(committed, psioa.NewSignature([]psioa.Action{Open(id)}, nil, nil))
+			opening := psioa.State(fmt.Sprintf("opening%d_%d", bit, c))
+			b.AddDet(committed, Open(id), opening)
+			// Publish the pad p = bit ⊕ c, then reveal.
+			p := bit ^ c
+			b.AddState(opening, psioa.NewSignature(nil, []psioa.Action{TapP(id, p)}, nil))
+			revealSt := psioa.State(fmt.Sprintf("reveal%d_%d", bit, c))
+			b.AddDet(opening, TapP(id, p), revealSt)
+			b.AddState(revealSt, psioa.NewSignature(nil, []psioa.Action{Reveal(id, bit)}, nil))
+			b.AddDet(revealSt, Reveal(id, bit), "done")
+		}
+	}
+	b.AddState("done", psioa.NewSignature(commits, nil, nil))
+	for _, cm := range commits {
+		b.AddDet("done", cm, "done")
+	}
+	return structured.NewSet(b.MustBuild(), EnvActions(id))
+}
+
+func comSt(bit, c int) psioa.State { return psioa.State(fmt.Sprintf("com%d_c%d", bit, c)) }
+
+// Ideal returns the ideal commitment functionality.
+func Ideal(id string) *structured.Structured {
+	commits := []psioa.Action{Commit(id, 0), Commit(id, 1)}
+	b := psioa.NewBuilder("idealcom_"+id, "init")
+	b.AddState("init", psioa.NewSignature(commits, nil, nil))
+	for bit := 0; bit < 2; bit++ {
+		have := psioa.State(fmt.Sprintf("have%d", bit))
+		committed := psioa.State(fmt.Sprintf("committed%d", bit))
+		opening := psioa.State(fmt.Sprintf("opening%d", bit))
+		revealSt := psioa.State(fmt.Sprintf("reveal%d", bit))
+		b.AddState(have, psioa.NewSignature(nil, []psioa.Action{Committed(id)}, nil))
+		b.AddDet("init", Commit(id, bit), have)
+		b.AddDet(have, Committed(id), committed)
+		b.AddState(committed, psioa.NewSignature([]psioa.Action{Open(id)}, nil, nil))
+		b.AddDet(committed, Open(id), opening)
+		b.AddState(opening, psioa.NewSignature(nil, []psioa.Action{Opened(id, bit)}, nil))
+		b.AddDet(opening, Opened(id, bit), revealSt)
+		b.AddState(revealSt, psioa.NewSignature(nil, []psioa.Action{Reveal(id, bit)}, nil))
+		b.AddDet(revealSt, Reveal(id, bit), "done")
+	}
+	b.AddState("done", psioa.NewSignature(commits, nil, nil))
+	for _, cm := range commits {
+		b.AddDet("done", cm, "done")
+	}
+	return structured.NewSet(b.MustBuild(), EnvActions(id))
+}
+
+// Observer is the passive adversary for Real: it relays the commit-phase
+// and open-phase observations to the environment via see-c / see-p
+// announcements.
+func Observer(id string) *psioa.Table {
+	taps := []psioa.Action{TapC(id, 0), TapC(id, 1), TapP(id, 0), TapP(id, 1)}
+	b := psioa.NewBuilder("observer_"+id, "w0")
+	// addInputs declares the state with taps as inputs plus the given
+	// outputs, wiring the progress map and self-looping every other tap.
+	addInputs := func(q psioa.State, outs []psioa.Action, progress map[psioa.Action]psioa.State) {
+		b.AddState(q, psioa.NewSignature(taps, outs, nil))
+		for _, tp := range taps {
+			if to, ok := progress[tp]; ok {
+				b.AddDet(q, tp, to)
+			} else {
+				b.AddDet(q, tp, q)
+			}
+		}
+	}
+	addInputs("w0", nil, map[psioa.Action]psioa.State{
+		TapC(id, 0): "sawc0",
+		TapC(id, 1): "sawc1",
+	})
+	for c := 0; c < 2; c++ {
+		sawC := psioa.State(fmt.Sprintf("sawc%d", c))
+		annC := psioa.State(fmt.Sprintf("annc%d", c))
+		addInputs(sawC, []psioa.Action{SeeC(id, c)}, nil)
+		b.AddDet(sawC, SeeC(id, c), annC)
+		addInputs(annC, nil, map[psioa.Action]psioa.State{
+			TapP(id, 0): psioa.State(fmt.Sprintf("sawp%d_0", c)),
+			TapP(id, 1): psioa.State(fmt.Sprintf("sawp%d_1", c)),
+		})
+		for p := 0; p < 2; p++ {
+			sawP := psioa.State(fmt.Sprintf("sawp%d_%d", c, p))
+			annP := psioa.State(fmt.Sprintf("annp%d_%d", c, p))
+			addInputs(sawP, []psioa.Action{SeeP(id, p)}, nil)
+			b.AddDet(sawP, SeeP(id, p), annP)
+			addInputs(annP, nil, nil)
+		}
+	}
+	return b.MustBuild()
+}
+
+// SeeC returns the observer's commit-phase announcement.
+func SeeC(id string, c int) psioa.Action { return act(fmt.Sprintf("seec%d", c), id) }
+
+// SeeP returns the observer's open-phase announcement.
+func SeeP(id string, p int) psioa.Action { return act(fmt.Sprintf("seep%d", p), id) }
+
+// Sim is the correct simulator for Observer against Ideal: at committed it
+// fabricates a uniform ciphertext observation and *remembers it*; at
+// opened_b it computes the unique consistent pad p = c ⊕ b. The announced
+// transcript (c, p) has exactly the real distribution.
+func Sim(id string) *psioa.Table {
+	ins := []psioa.Action{Committed(id), Opened(id, 0), Opened(id, 1)}
+	fab := act("fabc", id)
+	b := psioa.NewBuilder("comsim_"+id, "w0")
+	b.AddState("w0", psioa.NewSignature(ins, nil, nil))
+	b.AddState("noted", psioa.NewSignature(ins, nil, []psioa.Action{fab}))
+	b.AddDet("w0", Committed(id), "noted")
+	d := measure.New[psioa.State]()
+	d.Add("fabc0", 0.5)
+	d.Add("fabc1", 0.5)
+	b.AddTrans("noted", fab, d)
+	for c := 0; c < 2; c++ {
+		fabSt := psioa.State(fmt.Sprintf("fabc%d", c))
+		annC := psioa.State(fmt.Sprintf("annc%d", c))
+		b.AddState(fabSt, psioa.NewSignature(ins, []psioa.Action{SeeC(id, c)}, nil))
+		b.AddDet(fabSt, SeeC(id, c), annC)
+		b.AddState(annC, psioa.NewSignature(ins, nil, nil))
+		for bit := 0; bit < 2; bit++ {
+			// Consistency: p = c ⊕ bit.
+			p := c ^ bit
+			sawOpen := psioa.State(fmt.Sprintf("open%d_%d", c, bit))
+			annP := psioa.State(fmt.Sprintf("annp%d_%d", c, bit))
+			b.AddState(sawOpen, psioa.NewSignature(ins, []psioa.Action{SeeP(id, p)}, nil))
+			b.AddDet(annC, Opened(id, bit), sawOpen)
+			b.AddDet(sawOpen, SeeP(id, p), annP)
+			b.AddState(annP, psioa.NewSignature(ins, nil, nil))
+			for _, in := range ins {
+				b.AddDet(annP, in, annP)
+				b.AddDet(sawOpen, in, sawOpen)
+			}
+		}
+		for _, in := range ins {
+			b.AddDet(fabSt, in, fabSt)
+		}
+		b.AddDet(annC, Committed(id), annC)
+	}
+	// w0 already progresses on Committed; the open notifications idle.
+	b.AddDet("w0", Opened(id, 0), "w0")
+	b.AddDet("w0", Opened(id, 1), "w0")
+	b.AddDet("noted", Committed(id), "noted")
+	b.AddDet("noted", Opened(id, 0), "noted")
+	b.AddDet("noted", Opened(id, 1), "noted")
+	return b.MustBuild()
+}
+
+// ForgetfulSim is the calibrated *wrong* simulator: it fabricates an
+// independent uniform pad at open instead of the consistent one, so its
+// transcript satisfies b = c ⊕ p only half the time — the emulation check
+// fails with distance exactly 1/2.
+func ForgetfulSim(id string) *psioa.Table {
+	ins := []psioa.Action{Committed(id), Opened(id, 0), Opened(id, 1)}
+	fab := act("fabc", id)
+	fabp := act("fabp", id)
+	b := psioa.NewBuilder("badsim_"+id, "w0")
+	b.AddState("w0", psioa.NewSignature(ins, nil, nil))
+	b.AddState("noted", psioa.NewSignature(ins, nil, []psioa.Action{fab}))
+	b.AddDet("w0", Committed(id), "noted")
+	d := measure.New[psioa.State]()
+	d.Add("fabc0", 0.5)
+	d.Add("fabc1", 0.5)
+	b.AddTrans("noted", fab, d)
+	for c := 0; c < 2; c++ {
+		fabSt := psioa.State(fmt.Sprintf("fabc%d", c))
+		annC := psioa.State(fmt.Sprintf("annc%d", c))
+		b.AddState(fabSt, psioa.NewSignature(ins, []psioa.Action{SeeC(id, c)}, nil))
+		b.AddDet(fabSt, SeeC(id, c), annC)
+		b.AddState(annC, psioa.NewSignature(ins, nil, nil))
+		for bit := 0; bit < 2; bit++ {
+			sawOpen := psioa.State(fmt.Sprintf("open%d_%d", c, bit))
+			b.AddState(sawOpen, psioa.NewSignature(ins, nil, []psioa.Action{fabp}))
+			b.AddDet(annC, Opened(id, bit), sawOpen)
+			// Independent pad: ignores consistency.
+			dp := measure.New[psioa.State]()
+			dp.Add(psioa.State(fmt.Sprintf("padded%d_%d_0", c, bit)), 0.5)
+			dp.Add(psioa.State(fmt.Sprintf("padded%d_%d_1", c, bit)), 0.5)
+			b.AddTrans(sawOpen, fabp, dp)
+			for p := 0; p < 2; p++ {
+				padded := psioa.State(fmt.Sprintf("padded%d_%d_%d", c, bit, p))
+				annP := psioa.State(fmt.Sprintf("annp%d_%d_%d", c, bit, p))
+				b.AddState(padded, psioa.NewSignature(ins, []psioa.Action{SeeP(id, p)}, nil))
+				b.AddDet(padded, SeeP(id, p), annP)
+				b.AddState(annP, psioa.NewSignature(ins, nil, nil))
+				for _, in := range ins {
+					b.AddDet(annP, in, annP)
+					b.AddDet(padded, in, padded)
+				}
+			}
+			for _, in := range ins {
+				b.AddDet(sawOpen, in, sawOpen)
+			}
+		}
+		for _, in := range ins {
+			b.AddDet(fabSt, in, fabSt)
+		}
+		b.AddDet(annC, Committed(id), annC)
+	}
+	b.AddDet("w0", Opened(id, 0), "w0")
+	b.AddDet("w0", Opened(id, 1), "w0")
+	for _, in := range ins {
+		b.AddDet("noted", in, "noted")
+	}
+	return b.MustBuild()
+}
+
+// Env returns the distinguishing environment: it commits to bit b, opens,
+// and listens to reveals and to the observer's announcements. Crucially it
+// can compare seec and seep: in the real world seec ⊕ seep = b always.
+func Env(id string, b int) *psioa.Table {
+	inputs := []psioa.Action{
+		Reveal(id, 0), Reveal(id, 1),
+		SeeC(id, 0), SeeC(id, 1), SeeP(id, 0), SeeP(id, 1),
+	}
+	bld := psioa.NewBuilder(fmt.Sprintf("comenv_%s_b%d", id, b), "e0")
+	bld.AddState("e0", psioa.NewSignature(inputs, []psioa.Action{Commit(id, b)}, nil))
+	bld.AddState("committed", psioa.NewSignature(inputs, []psioa.Action{Open(id)}, nil))
+	bld.AddDet("e0", Commit(id, b), "committed")
+	bld.AddState("opened", psioa.NewSignature(inputs, nil, nil))
+	bld.AddDet("committed", Open(id), "opened")
+	for _, in := range inputs {
+		bld.AddDet("e0", in, "e0")
+		bld.AddDet("committed", in, "committed")
+		bld.AddDet("opened", in, "opened")
+	}
+	return bld.MustBuild()
+}

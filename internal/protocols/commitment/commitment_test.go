@@ -1,0 +1,186 @@
+package commitment_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/insight"
+	"repro/internal/protocols/commitment"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/structured"
+)
+
+func TestAutomataValid(t *testing.T) {
+	for _, a := range []psioa.PSIOA{
+		commitment.Real("x"), commitment.Ideal("x"),
+		commitment.Observer("x"), commitment.Sim("x"), commitment.ForgetfulSim("x"),
+		commitment.Env("x", 0), commitment.Env("x", 1),
+	} {
+		if err := psioa.Validate(a, 5000); err != nil {
+			t.Errorf("%s: %v", a.ID(), err)
+		}
+	}
+}
+
+func TestAdversaryInterfaces(t *testing.T) {
+	real := commitment.Real("x")
+	iface, err := adversary.InterfaceOf(real, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := psioa.NewActionSet(
+		commitment.TapC("x", 0), commitment.TapC("x", 1),
+		commitment.TapP("x", 0), commitment.TapP("x", 1))
+	if !iface.AO.Equal(want) {
+		t.Errorf("real AO = %v", iface.AO)
+	}
+	if len(iface.AI) != 0 {
+		t.Errorf("real AI = %v (passive protocol)", iface.AI)
+	}
+	if err := adversary.IsAdversaryFor(commitment.Observer("x"), real, 50000); err != nil {
+		t.Errorf("observer rejected: %v", err)
+	}
+	if err := adversary.IsAdversaryFor(commitment.Sim("x"), commitment.Ideal("x"), 50000); err != nil {
+		t.Errorf("simulator rejected: %v", err)
+	}
+}
+
+func TestPerfectHiding(t *testing.T) {
+	// Before open, the commit-phase observation is uniform regardless of b.
+	for b := 0; b < 2; b++ {
+		w := psioa.MustCompose(commitment.Env("x", b), commitment.Real("x"))
+		s := &sched.PrefixPrioritySchema{Templates: [][]string{{"commit", "blind", "tapc"}}}
+		ss, err := s.Enumerate(w, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := insight.FDist(w, ss[0], insight.Accept(commitment.TapC("x", 0)), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d.P("1")-0.5) > 1e-9 {
+			t.Errorf("b=%d: P(c=0) = %v, want 0.5", b, d.P("1"))
+		}
+	}
+}
+
+func TestTranscriptConsistency(t *testing.T) {
+	// In the real world, the opened pad always satisfies b = c ⊕ p.
+	for b := 0; b < 2; b++ {
+		w := psioa.MustCompose(commitment.Env("x", b), commitment.Real("x"), commitment.Observer("x"))
+		schema := &sched.PrefixPrioritySchema{Templates: [][]string{
+			{"commit", "blind", "tapc", "seec", "open", "tapp", "seep", "reveal"},
+		}}
+		ss, err := schema.Enumerate(w, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		em, err := sched.Measure(w, ss[0], 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		em.ForEach(func(f *psioa.Frag, p float64) {
+			var c, pad = -1, -1
+			for _, a := range f.Actions() {
+				switch a {
+				case commitment.SeeC("x", 0):
+					c = 0
+				case commitment.SeeC("x", 1):
+					c = 1
+				case commitment.SeeP("x", 0):
+					pad = 0
+				case commitment.SeeP("x", 1):
+					pad = 1
+				}
+			}
+			if c >= 0 && pad >= 0 && c^pad != b {
+				t.Errorf("b=%d: inconsistent transcript c=%d p=%d in %v", b, c, pad, f)
+			}
+		})
+	}
+}
+
+func comOpts(eps float64) core.Options {
+	return core.Options{
+		Envs: []psioa.PSIOA{commitment.Env("x", 0), commitment.Env("x", 1)},
+		// "open_x" is used as an exact name: the bare prefix "open" would
+		// also rank the ideal side's opened0/opened1 leaks, making the
+		// strategies asymmetric between the two worlds.
+		Schema: &sched.PrefixPrioritySchema{Templates: [][]string{
+			{"commit", "blind", "tapc", "committed", "fabc", "seec", "open_x", "tapp", "opened", "fabp", "seep", "reveal"},
+			{"commit", "blind", "tapc", "committed", "fabc", "seec", "open_x"},
+			{"commit", "blind", "tapc", "committed", "fabc", "seec"},
+		}},
+		Insight: insight.Trace(),
+		Eps:     eps,
+		Q1:      12, Q2: 12,
+	}
+}
+
+func TestCommitmentEmulation(t *testing.T) {
+	rep, err := core.SecureEmulates(commitment.Real("x"), commitment.Ideal("x"),
+		[]core.AdvSim{{Adv: commitment.Observer("x"), Sim: commitment.Sim("x")}},
+		comOpts(0), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("commitment emulation failed:\n%s", rep)
+		for _, r := range rep.PerAdv {
+			for _, f := range r.Failures() {
+				t.Logf("  %+v", f)
+			}
+		}
+	}
+}
+
+func TestForgetfulSimulatorFails(t *testing.T) {
+	// The calibrated negative control: the forgetful simulator's pad is
+	// independent of the revealed bit, so the transcript consistency check
+	// b = c ⊕ p fails half the time → distance exactly 1/2 under the full
+	// run-to-completion strategy.
+	rep, err := core.SecureEmulates(commitment.Real("x"), commitment.Ideal("x"),
+		[]core.AdvSim{{Adv: commitment.Observer("x"), Sim: commitment.ForgetfulSim("x")}},
+		comOpts(0), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds {
+		t.Fatal("forgetful simulator accepted at ε=0")
+	}
+	dist := 0.0
+	for _, r := range rep.PerAdv {
+		if r.MaxDist > dist {
+			dist = r.MaxDist
+		}
+	}
+	if math.Abs(dist-0.5) > 1e-9 {
+		t.Errorf("forgetful distance = %v, want exactly 0.5", dist)
+	}
+	// And it is accepted at ε = 1/2.
+	rep, err = core.SecureEmulates(commitment.Real("x"), commitment.Ideal("x"),
+		[]core.AdvSim{{Adv: commitment.Observer("x"), Sim: commitment.ForgetfulSim("x")}},
+		comOpts(0.5), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Error("forgetful simulator rejected at ε=0.5")
+	}
+}
+
+func TestStructuredCompatibilityWithEnv(t *testing.T) {
+	// The environment only touches the environment interface.
+	real := commitment.Real("x")
+	env := structured.NewSet(commitment.Env("x", 1), psioa.NewActionSet(
+		commitment.Commit("x", 1), commitment.Open("x"),
+		commitment.Reveal("x", 0), commitment.Reveal("x", 1),
+		commitment.SeeC("x", 0), commitment.SeeC("x", 1),
+		commitment.SeeP("x", 0), commitment.SeeP("x", 1)))
+	if err := structured.CheckCompatible(50000, real, env); err != nil {
+		t.Errorf("env not structured-compatible: %v", err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package dynchannel combines the paper's two axes — dynamic creation and
+// simulation-based security — in one system: a host configuration automaton
+// that opens secure-channel sessions *at run time*. The real host creates
+// OTP channel instances; the ideal host creates ideal-functionality
+// instances. Experiment E11 shows the real host securely emulates the ideal
+// host (ε = 0) with the session simulators composed — the scenario the
+// paper's introduction motivates (dynamic protocol instances, UC's "!"
+// operator) but no prior I/O-automata framework could express.
+package dynchannel
+
+import (
+	"fmt"
+
+	"repro/internal/pca"
+	"repro/internal/protocols/channel"
+	"repro/internal/psioa"
+	"repro/internal/structured"
+)
+
+// Kind selects the session implementation the host creates.
+type Kind string
+
+const (
+	// RealKind hosts one-time-pad channel sessions.
+	RealKind Kind = "real"
+	// IdealKind hosts ideal-functionality sessions.
+	IdealKind Kind = "ideal"
+)
+
+// Open returns the host's session-opening action.
+func Open(id string) psioa.Action { return psioa.Action("open_" + id) }
+
+// SessionID returns the channel-instance identifier of session n of host
+// id. Both kinds share session ids, so environments and adversaries are
+// interchangeable between the real and ideal hosts.
+func SessionID(id string, n int) string { return fmt.Sprintf("%ss%d", id, n) }
+
+// controller builds the host's session opener: it can open up to n
+// sessions, then idles.
+func controller(id string, n int) *psioa.Table {
+	open := Open(id)
+	idle := psioa.Action("idle_" + id)
+	b := psioa.NewBuilder("host_"+id, "h0")
+	for i := 0; i < n; i++ {
+		b.AddState(psioa.State(fmt.Sprintf("h%d", i)),
+			psioa.NewSignature(nil, []psioa.Action{open}, nil))
+		b.AddDet(psioa.State(fmt.Sprintf("h%d", i)), open, psioa.State(fmt.Sprintf("h%d", i+1)))
+	}
+	b.AddState(psioa.State(fmt.Sprintf("h%d", n)),
+		psioa.NewSignature(nil, []psioa.Action{idle}, nil))
+	b.AddDet(psioa.State(fmt.Sprintf("h%d", n)), idle, psioa.State(fmt.Sprintf("h%d", n)))
+	return b.MustBuild()
+}
+
+// Host builds the dynamic channel host as a structured PCA: a controller
+// that opens up to maxSessions sessions of the given kind, each session a
+// full (real or ideal) secure-channel instance created in its start state
+// (Def 2.14).
+func Host(id string, maxSessions int, kind Kind) *structured.StructuredPCA {
+	reg := pca.MapRegistry{}
+	ctrl := controller(id, maxSessions)
+	reg.Register(ctrl)
+	constituents := make([]structured.SPSIOA, 0, maxSessions)
+	for i := 0; i < maxSessions; i++ {
+		sid := SessionID(id, i)
+		var s *structured.Structured
+		switch kind {
+		case RealKind:
+			s = channel.Real(sid)
+		case IdealKind:
+			s = channel.Ideal(sid)
+		default:
+			panic(fmt.Sprintf("dynchannel: unknown kind %q", kind))
+		}
+		// The session automaton's identifier is real_<sid>/ideal_<sid>; the
+		// registry must address it by that identifier.
+		reg.Register(s)
+		constituents = append(constituents, s)
+	}
+	created := func(c *pca.Config, a psioa.Action) []string {
+		if a != Open(id) {
+			return nil
+		}
+		st, ok := c.StateOf(ctrl.ID())
+		if !ok {
+			return nil
+		}
+		var k int
+		fmt.Sscanf(string(st), "h%d", &k)
+		if k >= maxSessions {
+			return nil
+		}
+		return []string{string(kind) + "_" + SessionID(id, k)}
+	}
+	init := pca.NewConfig(map[string]psioa.State{ctrl.ID(): "h0"})
+	x := pca.MustNew(fmt.Sprintf("dynhost_%s_%s", id, kind), reg, init, pca.WithCreated(created))
+	return structured.StructurePCA(x, constituents...)
+}
+
+// Adversary returns the composed passive adversary for the real host: one
+// eavesdropper per potential session.
+func Adversary(id string, maxSessions int) psioa.PSIOA {
+	auts := make([]psioa.PSIOA, maxSessions)
+	for i := 0; i < maxSessions; i++ {
+		auts[i] = channel.Eavesdropper(SessionID(id, i))
+	}
+	return psioa.MustCompose(auts...)
+}
+
+// Simulator returns the composed simulator for the ideal host: one
+// per-session eavesdropper simulator.
+func Simulator(id string, maxSessions int) psioa.PSIOA {
+	auts := make([]psioa.PSIOA, maxSessions)
+	for i := 0; i < maxSessions; i++ {
+		auts[i] = channel.SimFor(SessionID(id, i))
+	}
+	return psioa.MustCompose(auts...)
+}
+
+// Env returns the composed environment driving all sessions: per session a
+// channel environment sending the given message bit.
+func Env(id string, messages []int) psioa.PSIOA {
+	auts := make([]psioa.PSIOA, len(messages))
+	for i, m := range messages {
+		auts[i] = channel.Env(SessionID(id, i), m)
+	}
+	return psioa.MustCompose(auts...)
+}

@@ -1,0 +1,153 @@
+package dynchannel_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/insight"
+	"repro/internal/pca"
+	"repro/internal/protocols/channel"
+	"repro/internal/protocols/dynchannel"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/structured"
+)
+
+func TestHostsValid(t *testing.T) {
+	for _, kind := range []dynchannel.Kind{dynchannel.RealKind, dynchannel.IdealKind} {
+		x := dynchannel.Host("d", 2, kind)
+		if err := structured.Validate(x, 20000); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := pca.ValidatePCA(x, 5000); err != nil {
+			t.Fatalf("%s PCA constraints: %v", kind, err)
+		}
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	dynchannel.Host("d", 1, dynchannel.Kind("bogus"))
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	x := dynchannel.Host("d", 1, dynchannel.RealKind)
+	// Before opening, no session exists; after, the session is live at its
+	// start state.
+	cfg := x.Config(x.Start())
+	if cfg.Len() != 1 {
+		t.Fatalf("start config = %v", cfg)
+	}
+	eta := x.Trans(x.Start(), dynchannel.Open("d"))
+	for _, q2 := range eta.Support() {
+		c2 := x.Config(q2)
+		sid := "real_" + dynchannel.SessionID("d", 0)
+		if !c2.Has(sid) {
+			t.Fatalf("session not created: %v", c2)
+		}
+		st, _ := c2.StateOf(sid)
+		if st != "init" {
+			t.Errorf("session created at %q, want init", st)
+		}
+	}
+}
+
+func TestAdversaryInterface(t *testing.T) {
+	x := dynchannel.Host("d", 1, dynchannel.RealKind)
+	iface, err := adversary.InterfaceOf(x, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid := dynchannel.SessionID("d", 0)
+	if !iface.AO.Has(channel.Tap(sid, 0)) || !iface.AO.Has(channel.Tap(sid, 1)) {
+		t.Errorf("AO = %v", iface.AO)
+	}
+	if !iface.AI.Has(channel.Block(sid)) {
+		t.Errorf("AI = %v", iface.AI)
+	}
+	if err := adversary.IsAdversaryFor(dynchannel.Adversary("d", 1), x, 20000); err != nil {
+		t.Errorf("session eavesdropper rejected: %v", err)
+	}
+}
+
+// schema is the run-to-completion strategy family for dynamic hosts: open
+// sessions first, then run each protocol phase.
+func schema() sched.Schema {
+	return &sched.PrefixPrioritySchema{Templates: [][]string{
+		{"open", "send", "encrypt", "tap", "notify", "fabricate", "guess", "deliver"},
+		{"open", "send", "encrypt", "tap", "notify", "fabricate", "guess"},
+		{"open", "send", "encrypt", "tap", "notify", "deliver"},
+	}}
+}
+
+func TestDynamicSecureEmulationSingleSession(t *testing.T) {
+	real := dynchannel.Host("d", 1, dynchannel.RealKind)
+	ideal := dynchannel.Host("d", 1, dynchannel.IdealKind)
+	rep, err := core.SecureEmulates(real, ideal,
+		[]core.AdvSim{{Adv: dynchannel.Adversary("d", 1), Sim: dynchannel.Simulator("d", 1)}},
+		core.Options{
+			Envs:    []psioa.PSIOA{dynchannel.Env("d", []int{0}), dynchannel.Env("d", []int{1})},
+			Schema:  schema(),
+			Insight: insight.Trace(),
+			Eps:     0,
+			Q1:      10, Q2: 10,
+		}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("dynamic secure emulation failed:\n%s", rep)
+		for _, r := range rep.PerAdv {
+			for _, f := range r.Failures() {
+				t.Logf("  %+v", f)
+			}
+		}
+	}
+}
+
+func TestDynamicSecureEmulationTwoSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-session emulation sweep is slow")
+	}
+	real := dynchannel.Host("d", 2, dynchannel.RealKind)
+	ideal := dynchannel.Host("d", 2, dynchannel.IdealKind)
+	var envs []psioa.PSIOA
+	for m1 := 0; m1 < 2; m1++ {
+		for m2 := 0; m2 < 2; m2++ {
+			envs = append(envs, dynchannel.Env("d", []int{m1, m2}))
+		}
+	}
+	rep, err := core.SecureEmulates(real, ideal,
+		[]core.AdvSim{{Adv: dynchannel.Adversary("d", 2), Sim: dynchannel.Simulator("d", 2)}},
+		core.Options{
+			Envs:    envs,
+			Schema:  schema(),
+			Insight: insight.Trace(),
+			Eps:     0,
+			Q1:      20, Q2: 20,
+		}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("two-session dynamic emulation failed:\n%s", rep)
+	}
+}
+
+func TestPerceptionUnderCreationObliviousScheduling(t *testing.T) {
+	// The masked view hides session internals; an off-line opener factors
+	// through it on both hosts.
+	for _, kind := range []dynchannel.Kind{dynchannel.RealKind, dynchannel.IdealKind} {
+		x := dynchannel.Host("d", 1, kind)
+		view := pca.CreationMaskView(x, []string{"host_d"})
+		seq := &sched.Sequence{A: x, LocalOnly: true, Acts: []psioa.Action{dynchannel.Open("d")}}
+		if err := sched.FactorsThrough(x, seq, view, 10); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package ledger implements a dynamic subchain ledger as a probabilistic
+// configuration automaton — the workload for the dynamic-creation
+// experiments (E2, E9). A host controller opens subchains at run time
+// (automaton creation, Def 2.14), each subchain seals one block carrying a
+// random beacon bit and is destroyed when done (empty-signature reduction,
+// Def 2.12).
+//
+// Two subchain variants with identical external behaviour are provided —
+// Direct (one internal sampling step) and Parity (the beacon is the parity
+// of two fair bits) — so Host(id, Direct) and Host(id, Parity) form the
+// X_A / X_B pair of the monotonicity-w.r.t.-creation discussion of §4.4:
+// the subchains are trace-equivalent, and under creation-oblivious
+// schedulers the hosts are indistinguishable too.
+package ledger
+
+import (
+	"fmt"
+
+	"repro/internal/measure"
+	"repro/internal/pca"
+	"repro/internal/psioa"
+)
+
+// Variant selects the subchain implementation.
+type Variant string
+
+const (
+	// Direct samples the beacon bit in one internal step.
+	Direct Variant = "direct"
+	// Parity samples two fair bits and seals their parity (two internal
+	// steps, identical external distribution).
+	Parity Variant = "parity"
+)
+
+// Open returns the host's subchain-opening action.
+func Open(id string) psioa.Action { return psioa.Action("open_" + id) }
+
+// Sealed returns the announcement that a subchain sealed a block with
+// beacon bit b.
+func Sealed(id string, n int, b int) psioa.Action {
+	return psioa.Action(fmt.Sprintf("sealed%d_%d_%s", b, n, id))
+}
+
+// SubchainID returns the identifier of the n-th subchain of host id.
+func SubchainID(id string, n int) string { return fmt.Sprintf("sub_%s_%d", id, n) }
+
+// Subchain builds the n-th subchain automaton of the given variant. Its
+// lifecycle: sample (internally), announce sealed<bit>, die (empty
+// signature → removed by reduction).
+func Subchain(id string, n int, v Variant) *psioa.Table {
+	sample := psioa.Action(fmt.Sprintf("sample_%d_%s", n, id))
+	b := psioa.NewBuilder(SubchainID(id, n), "fresh")
+	switch v {
+	case Direct:
+		b.AddState("fresh", psioa.NewSignature(nil, nil, []psioa.Action{sample}))
+		d := measure.New[psioa.State]()
+		d.Add("bit0", 0.5)
+		d.Add("bit1", 0.5)
+		b.AddTrans("fresh", sample, d)
+	case Parity:
+		b.AddState("fresh", psioa.NewSignature(nil, nil, []psioa.Action{sample}))
+		d := measure.New[psioa.State]()
+		d.Add("half0", 0.5)
+		d.Add("half1", 0.5)
+		b.AddTrans("fresh", sample, d)
+		for _, first := range []int{0, 1} {
+			st := psioa.State(fmt.Sprintf("half%d", first))
+			b.AddState(st, psioa.NewSignature(nil, nil, []psioa.Action{sample + "2"}))
+			d2 := measure.New[psioa.State]()
+			// Parity of two fair bits: second flip decides relative to the
+			// first.
+			d2.Add(psioa.State(fmt.Sprintf("bit%d", first)), 0.5)
+			d2.Add(psioa.State(fmt.Sprintf("bit%d", 1-first)), 0.5)
+			b.AddTrans(st, sample+"2", d2)
+		}
+	default:
+		panic(fmt.Sprintf("ledger: unknown variant %q", v))
+	}
+	for _, bit := range []int{0, 1} {
+		st := psioa.State(fmt.Sprintf("bit%d", bit))
+		b.AddState(st, psioa.NewSignature(nil, []psioa.Action{Sealed(id, n, bit)}, nil))
+		b.AddDet(st, Sealed(id, n, bit), "dead")
+	}
+	b.AddState("dead", psioa.EmptySignature())
+	return b.MustBuild()
+}
+
+// controller builds the host's controller automaton: it can open up to n
+// subchains, one at a time.
+func controller(id string, n int) *psioa.Table {
+	open := Open(id)
+	b := psioa.NewBuilder("host_"+id, "h0")
+	for i := 0; i < n; i++ {
+		b.AddState(psioa.State(fmt.Sprintf("h%d", i)),
+			psioa.NewSignature(nil, []psioa.Action{open}, nil))
+		b.AddDet(psioa.State(fmt.Sprintf("h%d", i)), open, psioa.State(fmt.Sprintf("h%d", i+1)))
+	}
+	idle := psioa.Action("idle_" + id)
+	b.AddState(psioa.State(fmt.Sprintf("h%d", n)),
+		psioa.NewSignature(nil, []psioa.Action{idle}, nil))
+	b.AddDet(psioa.State(fmt.Sprintf("h%d", n)), idle, psioa.State(fmt.Sprintf("h%d", n)))
+	return b.MustBuild()
+}
+
+// Host builds the ledger PCA: a controller that opens up to maxChains
+// subchains of the given variant. Each open action creates the next
+// subchain (in its start state); subchains are destroyed on sealing.
+func Host(id string, maxChains int, v Variant) (*pca.ConfigAutomaton, pca.MapRegistry) {
+	reg := pca.MapRegistry{}
+	ctrl := controller(id, maxChains)
+	reg.Register(ctrl)
+	for i := 0; i < maxChains; i++ {
+		reg.Register(Subchain(id, i, v))
+	}
+	created := func(c *pca.Config, a psioa.Action) []string {
+		if a != Open(id) {
+			return nil
+		}
+		st, ok := c.StateOf(ctrl.ID())
+		if !ok {
+			return nil
+		}
+		var k int
+		fmt.Sscanf(string(st), "h%d", &k)
+		return []string{SubchainID(id, k)}
+	}
+	init := pca.NewConfig(map[string]psioa.State{ctrl.ID(): "h0"})
+	return pca.MustNew("ledger_"+id+"_"+string(v), reg, init, pca.WithCreated(created)), reg
+}
+
+// MaskView returns the creation-oblivious view for a ledger host: the
+// controller is the only base automaton; subchain internals are masked.
+func MaskView(x pca.PCA, id string) func(*psioa.Frag) string {
+	return pca.CreationMaskView(x, []string{"host_" + id})
+}

@@ -1,0 +1,157 @@
+package ledger_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/insight"
+	"repro/internal/pca"
+	"repro/internal/protocols/ledger"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+)
+
+func TestSubchainVariants(t *testing.T) {
+	for _, v := range []ledger.Variant{ledger.Direct, ledger.Parity} {
+		sc := ledger.Subchain("x", 0, v)
+		if err := psioa.Validate(sc, 100); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		// Run to completion under the greedy local scheduler: the sealed
+		// bit is uniform for both variants.
+		s := &sched.Greedy{A: sc, Bound: 5, LocalOnly: true}
+		d, err := insight.FDist(sc, s, insight.Trace(), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Len() != 2 {
+			t.Fatalf("%s: %d outcomes, want 2", v, d.Len())
+		}
+		for _, k := range d.Support() {
+			if math.Abs(d.P(k)-0.5) > 1e-9 {
+				t.Errorf("%s: P(%s) = %v, want 0.5", v, k, d.P(k))
+			}
+		}
+	}
+}
+
+func TestVariantsTraceEquivalent(t *testing.T) {
+	// The two subchain variants have identical trace distributions under
+	// run-to-completion scheduling (greedy), despite different internal
+	// structure.
+	dists := map[ledger.Variant]string{}
+	for _, v := range []ledger.Variant{ledger.Direct, ledger.Parity} {
+		sc := ledger.Subchain("x", 0, v)
+		s := &sched.Greedy{A: sc, Bound: 6, LocalOnly: true}
+		d, err := insight.FDist(sc, s, insight.Trace(), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dists[v] = d.String()
+	}
+	if dists[ledger.Direct] != dists[ledger.Parity] {
+		t.Errorf("trace distributions differ:\n direct=%s\n parity=%s", dists[ledger.Direct], dists[ledger.Parity])
+	}
+}
+
+func TestHostValid(t *testing.T) {
+	x, _ := ledger.Host("x", 2, ledger.Direct)
+	if err := psioa.Validate(x, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := pca.ValidatePCA(x, 5000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostLifecycle(t *testing.T) {
+	x, _ := ledger.Host("x", 2, ledger.Direct)
+	// Drive each subchain to completion before opening the next: after
+	// sealing, the subchain is destroyed.
+	s := &sched.Priority{A: x, Bound: 8, LocalOnly: true, Order: []psioa.Action{
+		"sample_0_x", "sample_1_x",
+		ledger.Sealed("x", 0, 0), ledger.Sealed("x", 0, 1),
+		ledger.Sealed("x", 1, 0), ledger.Sealed("x", 1, 1),
+		ledger.Open("x"),
+	}}
+	em, err := sched.Measure(x, s, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDestruction := false
+	em.ForEach(func(f *psioa.Frag, p float64) {
+		for i := 0; i <= f.Len(); i++ {
+			cfg := x.Config(f.StateAt(i))
+			if i > 0 && !cfg.Has(ledger.SubchainID("x", 0)) && cfg.Len() == 1 {
+				// Subchain 0 was created and has vanished again.
+				for j := 0; j < i; j++ {
+					if x.Config(f.StateAt(j)).Has(ledger.SubchainID("x", 0)) {
+						sawDestruction = true
+					}
+				}
+			}
+		}
+	})
+	if !sawDestruction {
+		t.Error("no subchain destruction observed")
+	}
+}
+
+func TestHostVariantsIndistinguishableUnderObliviousScheduling(t *testing.T) {
+	// The §4.4 monotonicity scenario: X_direct and X_parity create
+	// trace-equivalent subchains; under run-to-completion (creation-
+	// oblivious) scheduling their sealed-bit distributions coincide.
+	xd, _ := ledger.Host("x", 1, ledger.Direct)
+	xp, _ := ledger.Host("x", 1, ledger.Parity)
+	order := []psioa.Action{
+		"sample_0_x", "sample_0_x2",
+		ledger.Sealed("x", 0, 0), ledger.Sealed("x", 0, 1),
+		ledger.Open("x"),
+	}
+	sd := &sched.Priority{A: xd, Bound: 10, LocalOnly: true, Order: order}
+	sp := &sched.Priority{A: xp, Bound: 10, LocalOnly: true, Order: order}
+	dd, err := insight.FDist(xd, sd, insight.Trace(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := insight.FDist(xp, sp, insight.Trace(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist := insight.Distance(dd, dp); dist > 1e-9 {
+		t.Errorf("hosts distinguishable: %v\n direct=%v\n parity=%v", dist, dd, dp)
+	}
+}
+
+func TestHostSchedulerCreationObliviousness(t *testing.T) {
+	x, _ := ledger.Host("x", 2, ledger.Direct)
+	view := ledger.MaskView(x, "x")
+	s := &sched.Greedy{A: x, Bound: 4, LocalOnly: true}
+	// Greedy is *not* creation-oblivious in general (it reads the full
+	// signature, which depends on subchain states)...
+	err := sched.FactorsThrough(x, s, view, 20)
+	// ...but an oblivious sequence is.
+	seq := &sched.Sequence{A: x, Acts: []psioa.Action{ledger.Open("x"), "sample_0_x"}, LocalOnly: true}
+	if err2 := sched.FactorsThrough(x, seq, view, 20); err2 != nil {
+		t.Errorf("oblivious sequence not creation-oblivious: %v", err2)
+	}
+	_ = err // greedy may or may not factor on this small instance
+}
+
+func TestSealedActionNames(t *testing.T) {
+	if ledger.Sealed("x", 1, 0) != "sealed0_1_x" {
+		t.Errorf("Sealed = %q", ledger.Sealed("x", 1, 0))
+	}
+	if ledger.SubchainID("x", 2) != "sub_x_2" {
+		t.Errorf("SubchainID = %q", ledger.SubchainID("x", 2))
+	}
+}
+
+func TestUnknownVariantPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ledger.Subchain("x", 0, ledger.Variant("bogus"))
+}

@@ -1,0 +1,145 @@
+// Package sequencer implements the ordering/consistency motif of the
+// paper's blockchain motivation (replicated state machines): a transaction
+// sequencer that orders concurrently submitted transactions by arrival, and
+// an ideal ledger that fixes an order nondeterministically. The real
+// sequencer implements the ideal ledger at ε = 0: every arrival order the
+// scheduler produces in the real world is matched by the corresponding
+// ordering choice of the ideal ledger's scheduler — the ordering
+// nondeterminism is absorbed by the scheduler correspondence, exactly the
+// role Def 4.12's ∃σ′ plays for consistency models.
+//
+// A *committing* variant (CommitSequencer) additionally publishes the
+// chosen order; an ideal ledger that always orders a-then-b then fails the
+// check by exactly the probability mass of b-first schedules, showing that
+// sequential-consistency-style specifications are strictly stronger.
+package sequencer
+
+import (
+	"fmt"
+
+	"repro/internal/psioa"
+)
+
+// Submit returns client c's transaction-submission action.
+func Submit(id string, c string) psioa.Action { return psioa.Action("submit_" + c + "_" + id) }
+
+// Commit returns the sequencer's commit announcement for position pos.
+func Commit(id string, pos int, c string) psioa.Action {
+	return psioa.Action(fmt.Sprintf("commit%d_%s_%s", pos, c, id))
+}
+
+// Done returns the completion announcement.
+func Done(id string) psioa.Action { return psioa.Action("done_" + id) }
+
+// Client builds the submitting client c: it submits one transaction.
+func Client(id, c string) *psioa.Table {
+	b := psioa.NewBuilder("client_"+c+"_"+id, "fresh")
+	b.AddState("fresh", psioa.NewSignature(nil, []psioa.Action{Submit(id, c)}, nil))
+	b.AddDet("fresh", Submit(id, c), "sent")
+	b.AddState("sent", psioa.EmptySignature())
+	return b.MustBuild()
+}
+
+// Real builds the arrival-order sequencer for clients a and b: it commits
+// transactions in the order the submissions arrive (which the scheduler
+// controls through the clients), then announces completion.
+func Real(id string) *psioa.Table {
+	subA, subB := Submit(id, "a"), Submit(id, "b")
+	b := psioa.NewBuilder("seq_"+id, "empty")
+	b.AddState("empty", psioa.NewSignature([]psioa.Action{subA, subB}, nil, nil))
+	b.AddDet("empty", subA, "gotA")
+	b.AddDet("empty", subB, "gotB")
+	// After the first arrival, commit it at position 0, then await the
+	// second, commit at position 1, and finish.
+	b.AddState("gotA", psioa.NewSignature([]psioa.Action{subB}, []psioa.Action{Commit(id, 0, "a")}, nil))
+	b.AddDet("gotA", Commit(id, 0, "a"), "waitB")
+	b.AddDet("gotA", subB, "gotAB")
+	b.AddState("gotB", psioa.NewSignature([]psioa.Action{subA}, []psioa.Action{Commit(id, 0, "b")}, nil))
+	b.AddDet("gotB", Commit(id, 0, "b"), "waitA")
+	b.AddDet("gotB", subA, "gotBA")
+	// Both arrived before the first commit: the arrival order decides.
+	b.AddState("gotAB", psioa.NewSignature(nil, []psioa.Action{Commit(id, 0, "a")}, nil))
+	b.AddDet("gotAB", Commit(id, 0, "a"), "secondB")
+	b.AddState("gotBA", psioa.NewSignature(nil, []psioa.Action{Commit(id, 0, "b")}, nil))
+	b.AddDet("gotBA", Commit(id, 0, "b"), "secondA")
+	b.AddState("waitB", psioa.NewSignature([]psioa.Action{subB}, nil, nil))
+	b.AddDet("waitB", subB, "secondB")
+	b.AddState("waitA", psioa.NewSignature([]psioa.Action{subA}, nil, nil))
+	b.AddDet("waitA", subA, "secondA")
+	b.AddState("secondB", psioa.NewSignature(nil, []psioa.Action{Commit(id, 1, "b")}, nil))
+	b.AddDet("secondB", Commit(id, 1, "b"), "full")
+	b.AddState("secondA", psioa.NewSignature(nil, []psioa.Action{Commit(id, 1, "a")}, nil))
+	b.AddDet("secondA", Commit(id, 1, "a"), "full")
+	b.AddState("full", psioa.NewSignature(nil, []psioa.Action{Done(id)}, nil))
+	b.AddDet("full", Done(id), "fin")
+	b.AddState("fin", psioa.EmptySignature())
+	return b.MustBuild()
+}
+
+// RealSystem composes the sequencer with its two clients.
+func RealSystem(id string) *psioa.Product {
+	return psioa.MustCompose(Client(id, "a"), Client(id, "b"), Real(id))
+}
+
+// Ideal builds the ideal ledger: it absorbs both submissions and then
+// *nondeterministically* commits them in either order (the scheduler — the
+// specification's environment of choices — picks). Both orders are
+// externally announced exactly like the real sequencer's.
+func Ideal(id string) *psioa.Table {
+	subA, subB := Submit(id, "a"), Submit(id, "b")
+	b := psioa.NewBuilder("ledger_"+id, "empty")
+	b.AddState("empty", psioa.NewSignature([]psioa.Action{subA, subB}, nil, nil))
+	b.AddDet("empty", subA, "haveA")
+	b.AddDet("empty", subB, "haveB")
+	b.AddState("haveA", psioa.NewSignature([]psioa.Action{subB}, nil, nil))
+	b.AddDet("haveA", subB, "haveBoth")
+	b.AddState("haveB", psioa.NewSignature([]psioa.Action{subA}, nil, nil))
+	b.AddDet("haveB", subA, "haveBoth")
+	// The ordering choice: both commit actions enabled.
+	b.AddState("haveBoth", psioa.NewSignature(nil,
+		[]psioa.Action{Commit(id, 0, "a"), Commit(id, 0, "b")}, nil))
+	b.AddDet("haveBoth", Commit(id, 0, "a"), "secondB")
+	b.AddDet("haveBoth", Commit(id, 0, "b"), "secondA")
+	b.AddState("secondB", psioa.NewSignature(nil, []psioa.Action{Commit(id, 1, "b")}, nil))
+	b.AddDet("secondB", Commit(id, 1, "b"), "full")
+	b.AddState("secondA", psioa.NewSignature(nil, []psioa.Action{Commit(id, 1, "a")}, nil))
+	b.AddDet("secondA", Commit(id, 1, "a"), "full")
+	b.AddState("full", psioa.NewSignature(nil, []psioa.Action{Done(id)}, nil))
+	b.AddDet("full", Done(id), "fin")
+	b.AddState("fin", psioa.EmptySignature())
+	return b.MustBuild()
+}
+
+// IdealSystem composes the ideal ledger with the two clients.
+func IdealSystem(id string) *psioa.Product {
+	return psioa.MustCompose(Client(id, "a"), Client(id, "b"), Ideal(id))
+}
+
+// FifoAOnly builds the over-strong specification that always orders
+// client a first — sequential consistency pinned to one order. The real
+// sequencer does NOT implement it whenever the scheduler can deliver b
+// first.
+func FifoAOnly(id string) *psioa.Table {
+	subA, subB := Submit(id, "a"), Submit(id, "b")
+	b := psioa.NewBuilder("fifoa_"+id, "empty")
+	b.AddState("empty", psioa.NewSignature([]psioa.Action{subA, subB}, nil, nil))
+	b.AddDet("empty", subA, "haveA")
+	b.AddDet("empty", subB, "haveB")
+	b.AddState("haveA", psioa.NewSignature([]psioa.Action{subB}, nil, nil))
+	b.AddDet("haveA", subB, "haveBoth")
+	b.AddState("haveB", psioa.NewSignature([]psioa.Action{subA}, nil, nil))
+	b.AddDet("haveB", subA, "haveBoth")
+	b.AddState("haveBoth", psioa.NewSignature(nil, []psioa.Action{Commit(id, 0, "a")}, nil))
+	b.AddDet("haveBoth", Commit(id, 0, "a"), "secondB")
+	b.AddState("secondB", psioa.NewSignature(nil, []psioa.Action{Commit(id, 1, "b")}, nil))
+	b.AddDet("secondB", Commit(id, 1, "b"), "full")
+	b.AddState("full", psioa.NewSignature(nil, []psioa.Action{Done(id)}, nil))
+	b.AddDet("full", Done(id), "fin")
+	b.AddState("fin", psioa.EmptySignature())
+	return b.MustBuild()
+}
+
+// FifoAOnlySystem composes the pinned specification with the clients.
+func FifoAOnlySystem(id string) *psioa.Product {
+	return psioa.MustCompose(Client(id, "a"), Client(id, "b"), FifoAOnly(id))
+}

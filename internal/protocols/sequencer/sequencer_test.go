@@ -1,0 +1,152 @@
+package sequencer_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/insight"
+	"repro/internal/protocols/sequencer"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+)
+
+func TestAutomataValid(t *testing.T) {
+	for _, a := range []psioa.PSIOA{
+		sequencer.Real("x"), sequencer.Ideal("x"), sequencer.FifoAOnly("x"),
+		sequencer.RealSystem("x"), sequencer.IdealSystem("x"), sequencer.FifoAOnlySystem("x"),
+	} {
+		if err := psioa.Validate(a, 5000); err != nil {
+			t.Errorf("%s: %v", a.ID(), err)
+		}
+	}
+}
+
+// seqSchema enumerates the interesting interleavings: a first, b first,
+// and both submitted before any commit (in both arrival orders).
+func seqSchema(id string) sched.Schema {
+	subA, subB := sequencer.Submit(id, "a"), sequencer.Submit(id, "b")
+	orders := [][]psioa.Action{
+		{subA, subB}, // a arrives first
+		{subB, subA}, // b arrives first
+	}
+	return &sched.FixedSchema{ID: "interleavings", Default: func(a psioa.PSIOA, bound int) []sched.Scheduler {
+		var out []sched.Scheduler
+		// Arrival order × ordering preference (the latter only matters for
+		// the nondeterministic ideal ledger, where both commits can be
+		// enabled at once).
+		for _, pre := range orders {
+			for _, pref := range []string{"_a_", "_b_"} {
+				pre, pref := pre, pref
+				out = append(out, &sched.FuncSched{
+					ID: "arrive" + string(pre[0]) + "/prefer" + pref,
+					Fn: func(f *psioa.Frag) *sched.Choice {
+						if f.Len() < len(pre) {
+							// Submit phase in the chosen arrival order.
+							ch := sched.Halt()
+							ch.Add(pre[f.Len()], 1)
+							return ch
+						}
+						if f.Len() >= bound {
+							return sched.Halt()
+						}
+						// Run to completion, preferring the chosen client's
+						// commits when the specification offers a choice.
+						sig := a.Sig(f.LState())
+						local := sig.Out.Union(sig.Int).Sorted()
+						if len(local) == 0 {
+							return sched.Halt()
+						}
+						pick := local[0]
+						for _, act := range local {
+							if containsMid(string(act), pref) {
+								pick = act
+								break
+							}
+						}
+						ch := sched.Halt()
+						ch.Add(pick, 1)
+						return ch
+					},
+				})
+			}
+		}
+		return out
+	}}
+}
+
+func containsMid(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func opts(id string, eps float64) core.Options {
+	return core.Options{
+		Envs:    []psioa.PSIOA{psioa.Null("nullenv")},
+		Schema:  seqSchema(id),
+		Insight: insight.Trace(),
+		Eps:     eps,
+		Q1:      8, Q2: 8,
+	}
+}
+
+func TestArrivalOrderImplementsNondeterministicLedger(t *testing.T) {
+	// Every arrival order the real scheduler produces is matched by the
+	// ideal ledger's ordering choice: ε = 0.
+	rep, err := core.Implements(sequencer.RealSystem("x"), sequencer.IdealSystem("x"), opts("x", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("sequencer does not implement the nondeterministic ledger: %s", rep)
+		for _, f := range rep.Failures() {
+			t.Logf("  %+v", f)
+		}
+	}
+}
+
+func TestPinnedOrderTooStrong(t *testing.T) {
+	// The a-first-pinned specification is strictly stronger: the b-first
+	// schedule has no counterpart, failing by the full mass 1.
+	rep, err := core.Implements(sequencer.RealSystem("x"), sequencer.FifoAOnlySystem("x"), opts("x", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds {
+		t.Fatal("pinned specification accepted")
+	}
+	// Exactly the b-first schedulers fail (both preference variants).
+	if got := len(rep.Failures()); got != 2 {
+		t.Errorf("failures = %d, want 2", got)
+	}
+}
+
+func TestCommitOrderMatchesArrival(t *testing.T) {
+	// Directly inspect: when b arrives first, b commits at position 0.
+	w := sequencer.RealSystem("x")
+	ss, err := seqSchema("x").Enumerate(w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bFirst sched.Scheduler
+	want := "arrive" + string(sequencer.Submit("x", "b"))
+	for _, s := range ss {
+		if len(s.Name()) >= len(want) && s.Name()[:len(want)] == want {
+			bFirst = s
+			break
+		}
+	}
+	if bFirst == nil {
+		t.Fatal("b-first scheduler not found")
+	}
+	d, err := insight.FDist(w, bFirst, insight.Accept(sequencer.Commit("x", 0, "b")), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.P("1") != 1 {
+		t.Errorf("P(commit0=b | b first) = %v, want 1", d.P("1"))
+	}
+}

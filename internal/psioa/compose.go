@@ -1,0 +1,279 @@
+package psioa
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/measure"
+)
+
+// Product is the partial composition A₁‖...‖Aₙ of Def 2.18. Its states are
+// canonical tuples of component states; its signature at a state is the
+// signature composition of Def 2.4 (the components must be compatible there,
+// Def 2.5); its transition measure is the product measure of Def 2.5, where
+// components that do not participate in an action stay put (Dirac).
+//
+// Compose flattens nested products, so composition is associative on the
+// nose: Compose(Compose(a,b),c), Compose(a,Compose(b,c)) and Compose(a,b,c)
+// are literally the same automaton (same states, same measures). The
+// composability proofs of Section 4 use this associativity freely.
+type Product struct {
+	id    string
+	comps []PSIOA
+
+	mu         sync.Mutex
+	sigCache   map[State]Signature
+	compatOK   map[State]bool
+	transCache map[State]map[Action]*Dist
+	splitCache map[State][]State
+}
+
+// Compose builds the partial composition of the given automata (Def 2.18).
+// Arguments that are themselves Products are flattened into their
+// components. Component identifiers must be pairwise distinct.
+func Compose(auts ...PSIOA) (*Product, error) {
+	if len(auts) == 0 {
+		return nil, fmt.Errorf("psioa: Compose needs at least one automaton")
+	}
+	var comps []PSIOA
+	for _, a := range auts {
+		if p, ok := a.(*Product); ok {
+			comps = append(comps, p.comps...)
+		} else {
+			comps = append(comps, a)
+		}
+	}
+	seen := make(map[string]bool, len(comps))
+	ids := make([]string, len(comps))
+	for i, c := range comps {
+		if seen[c.ID()] {
+			return nil, fmt.Errorf("psioa: Compose: duplicate component identifier %q", c.ID())
+		}
+		seen[c.ID()] = true
+		ids[i] = c.ID()
+	}
+	return &Product{
+		id:         strings.Join(ids, "||"),
+		comps:      comps,
+		sigCache:   make(map[State]Signature),
+		compatOK:   make(map[State]bool),
+		transCache: make(map[State]map[Action]*Dist),
+		splitCache: make(map[State][]State),
+	}, nil
+}
+
+// MustCompose is Compose that panics on error.
+func MustCompose(auts ...PSIOA) *Product {
+	p, err := Compose(auts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ID implements PSIOA.
+func (p *Product) ID() string { return p.id }
+
+// Components returns the (flattened) component automata.
+func (p *Product) Components() []PSIOA { return p.comps }
+
+// Start implements PSIOA: the tuple of component start states.
+func (p *Product) Start() State {
+	parts := make([]string, len(p.comps))
+	for i, c := range p.comps {
+		parts[i] = string(c.Start())
+	}
+	return State(codec.EncodeTuple(parts))
+}
+
+// Split decomposes a product state into component states.
+func (p *Product) Split(q State) []State {
+	p.mu.Lock()
+	if cached, ok := p.splitCache[q]; ok {
+		p.mu.Unlock()
+		return cached
+	}
+	p.mu.Unlock()
+	parts, err := codec.DecodeTuple(string(q))
+	if err != nil || len(parts) != len(p.comps) {
+		panic(fmt.Sprintf("psioa: product %q: malformed state %q", p.id, q))
+	}
+	out := make([]State, len(parts))
+	for i, s := range parts {
+		out[i] = State(s)
+	}
+	p.mu.Lock()
+	p.splitCache[q] = out
+	p.mu.Unlock()
+	return out
+}
+
+// Join composes component states into a product state.
+func (p *Product) Join(qs []State) State {
+	if len(qs) != len(p.comps) {
+		panic(fmt.Sprintf("psioa: product %q: Join got %d states, want %d", p.id, len(qs), len(p.comps)))
+	}
+	parts := make([]string, len(qs))
+	for i, s := range qs {
+		parts[i] = string(s)
+	}
+	return State(codec.EncodeTuple(parts))
+}
+
+// Project returns q↾Aᵢ, the i-th component of the product state.
+func (p *Product) Project(q State, i int) State { return p.Split(q)[i] }
+
+// ProjectID returns the component state of the component with the given
+// identifier, and whether such a component exists.
+func (p *Product) ProjectID(q State, id string) (State, bool) {
+	qs := p.Split(q)
+	for i, c := range p.comps {
+		if c.ID() == id {
+			return qs[i], true
+		}
+	}
+	return "", false
+}
+
+// CompatAt reports whether the components are compatible at q (Def 2.5):
+// their state signatures form a compatible set per Def 2.3.
+func (p *Product) CompatAt(q State) error {
+	p.mu.Lock()
+	if p.compatOK[q] {
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+	qs := p.Split(q)
+	sigs := make([]Signature, len(qs))
+	for i, c := range p.comps {
+		sigs[i] = c.Sig(qs[i])
+	}
+	if err := CompatibleSignatures(sigs); err != nil {
+		return fmt.Errorf("psioa: product %q incompatible at state %q: %w", p.id, q, err)
+	}
+	// Propagate into composite components (e.g. nested hides over products).
+	for i, c := range p.comps {
+		if cc, ok := c.(compatAtChecker); ok {
+			if err := cc.CompatAt(qs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	p.mu.Lock()
+	p.compatOK[q] = true
+	p.mu.Unlock()
+	return nil
+}
+
+// Sig implements PSIOA per Defs 2.4/2.5. It panics if the components are
+// incompatible at q; use CompatAt (or Explore/Validate) to check
+// compatibility without panicking.
+func (p *Product) Sig(q State) Signature {
+	p.mu.Lock()
+	if sig, ok := p.sigCache[q]; ok {
+		p.mu.Unlock()
+		return sig
+	}
+	p.mu.Unlock()
+
+	if err := p.CompatAt(q); err != nil {
+		panic(err)
+	}
+	qs := p.Split(q)
+	sigs := make([]Signature, len(qs))
+	for i, c := range p.comps {
+		sigs[i] = c.Sig(qs[i])
+	}
+	sig := ComposeSignatures(sigs)
+
+	p.mu.Lock()
+	p.sigCache[q] = sig
+	p.mu.Unlock()
+	return sig
+}
+
+// Trans implements PSIOA per Def 2.5: η_{(A,q,a)} = η₁ ⊗ ... ⊗ ηₙ with
+// ηⱼ = η_{(Aⱼ,qⱼ,a)} when a is in Aⱼ's current signature and δ_{qⱼ}
+// otherwise.
+func (p *Product) Trans(q State, a Action) *Dist {
+	p.mu.Lock()
+	if m, ok := p.transCache[q]; ok {
+		if d, ok := m[a]; ok {
+			p.mu.Unlock()
+			return d
+		}
+	}
+	p.mu.Unlock()
+	if !p.Sig(q).Has(a) {
+		disabledPanic(p.id, q, a)
+	}
+	qs := p.Split(q)
+	factors := make([]*measure.Dist[string], len(p.comps))
+	for i, c := range p.comps {
+		if c.Sig(qs[i]).Has(a) {
+			factors[i] = retype(c.Trans(qs[i], a))
+		} else {
+			factors[i] = measure.Dirac(string(qs[i]))
+		}
+	}
+	prod := measure.ProductN(factors, codec.EncodeTuple)
+	d := retypeBack(prod)
+	p.mu.Lock()
+	m := p.transCache[q]
+	if m == nil {
+		m = make(map[Action]*Dist)
+		p.transCache[q] = m
+	}
+	m[a] = d
+	p.mu.Unlock()
+	return d
+}
+
+// Atomic wraps an automaton so that Compose treats it as a single
+// component even when it is itself a Product. Analyses that need to project
+// a composite state onto a known pair — e.g. the adversary predicate, which
+// inspects (q_A, q_Adv) — wrap their arguments in Atom so the flattening
+// behaviour of Compose cannot regroup components underneath them.
+type Atomic struct{ inner PSIOA }
+
+// Atom wraps a to suppress composition flattening.
+func Atom(a PSIOA) *Atomic { return &Atomic{inner: a} }
+
+// ID implements PSIOA.
+func (a *Atomic) ID() string { return a.inner.ID() }
+
+// Inner returns the wrapped automaton.
+func (a *Atomic) Inner() PSIOA { return a.inner }
+
+// Start implements PSIOA.
+func (a *Atomic) Start() State { return a.inner.Start() }
+
+// Sig implements PSIOA.
+func (a *Atomic) Sig(q State) Signature { return a.inner.Sig(q) }
+
+// Trans implements PSIOA.
+func (a *Atomic) Trans(q State, act Action) *Dist { return a.inner.Trans(q, act) }
+
+// CompatAt delegates compatibility checking.
+func (a *Atomic) CompatAt(q State) error {
+	if cc, ok := a.inner.(compatAtChecker); ok {
+		return cc.CompatAt(q)
+	}
+	return nil
+}
+
+// retype converts Dist[State] to Dist[string] (states are strings).
+func retype(d *Dist) *measure.Dist[string] {
+	out := measure.New[string]()
+	d.ForEach(func(x State, pr float64) { out.Add(string(x), pr) })
+	return out
+}
+
+func retypeBack(d *measure.Dist[string]) *Dist {
+	out := measure.New[State]()
+	d.ForEach(func(x string, pr float64) { out.Add(State(x), pr) })
+	return out
+}

@@ -1,0 +1,180 @@
+package psioa_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/psioa"
+	"repro/internal/testaut"
+)
+
+func TestComposeBasics(t *testing.T) {
+	c1 := testaut.Coin("c1", 0.5)
+	c2 := testaut.Coin("c2", 0.25)
+	p, err := psioa.Compose(c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID() != "c1||c2" {
+		t.Errorf("ID = %q", p.ID())
+	}
+	start := p.Start()
+	if p.Project(start, 0) != "q0" || p.Project(start, 1) != "q0" {
+		t.Error("start projection wrong")
+	}
+	sig := p.Sig(start)
+	if !sig.Int.Has("flip_c1") || !sig.Int.Has("flip_c2") {
+		t.Errorf("composed signature missing flips: %v", sig)
+	}
+	if err := psioa.Validate(p, 1000); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestComposeRejectsDuplicateIDs(t *testing.T) {
+	c := testaut.Coin("c", 0.5)
+	if _, err := psioa.Compose(c, c); err == nil {
+		t.Error("expected duplicate-identifier error")
+	}
+}
+
+func TestComposeRejectsEmpty(t *testing.T) {
+	if _, err := psioa.Compose(); err == nil {
+		t.Error("expected error for empty composition")
+	}
+}
+
+func TestComposeFlattening(t *testing.T) {
+	a := testaut.Coin("a", 0.5)
+	b := testaut.Coin("b", 0.5)
+	c := testaut.Coin("c", 0.5)
+	left := psioa.MustCompose(psioa.MustCompose(a, b), c)
+	right := psioa.MustCompose(a, psioa.MustCompose(b, c))
+	flat := psioa.MustCompose(a, b, c)
+	if left.ID() != flat.ID() || right.ID() != flat.ID() {
+		t.Errorf("flattening failed: %q %q %q", left.ID(), right.ID(), flat.ID())
+	}
+	if left.Start() != flat.Start() || right.Start() != flat.Start() {
+		t.Error("associativity of start states broken")
+	}
+	if len(left.Components()) != 3 {
+		t.Errorf("components = %d, want 3", len(left.Components()))
+	}
+	// Transition measures agree on the nose.
+	d1 := left.Trans(left.Start(), "flip_b")
+	d2 := flat.Trans(flat.Start(), "flip_b")
+	for _, q := range d1.Support() {
+		if math.Abs(d1.P(q)-d2.P(q)) > 1e-9 {
+			t.Errorf("transition measures differ at %q", q)
+		}
+	}
+}
+
+func TestComposeProductMeasure(t *testing.T) {
+	// Two coins, one shared input trigger: exercise the ⊗/Dirac split of
+	// Def 2.5. Use OpenCoin with same trigger name via renaming.
+	c1 := testaut.OpenCoin("x", 0.5)
+	ren := psioa.RenameMap(testaut.OpenCoin("y", 0.25), map[psioa.Action]psioa.Action{
+		"go_y": "go_x", // now both coins flip on go_x
+	})
+	p := psioa.MustCompose(c1, ren)
+	d := p.Trans(p.Start(), "go_x")
+	if d.Len() != 4 {
+		t.Fatalf("joint support size = %d, want 4 (both coins move)", d.Len())
+	}
+	// P(h,h) = 0.5 * 0.25.
+	hh := p.Join([]psioa.State{"h", "h"})
+	if math.Abs(d.P(hh)-0.125) > 1e-9 {
+		t.Errorf("P(h,h) = %v, want 0.125", d.P(hh))
+	}
+	if !d.IsProb() {
+		t.Error("joint transition is not a probability measure")
+	}
+}
+
+func TestComposeNonParticipantStaysPut(t *testing.T) {
+	c1 := testaut.OpenCoin("x", 0.5)
+	c2 := testaut.OpenCoin("y", 0.5)
+	p := psioa.MustCompose(c1, c2)
+	d := p.Trans(p.Start(), "go_x")
+	for _, q := range d.Support() {
+		if p.Project(q, 1) != "q0" {
+			t.Errorf("non-participant moved: %q", q)
+		}
+	}
+}
+
+func TestComposePingPongReachability(t *testing.T) {
+	pinger, ponger := testaut.PingPong(3)
+	p := psioa.MustCompose(pinger, ponger)
+	ex, err := psioa.Explore(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lock-step protocol: 2 states per round + terminal.
+	if len(ex.States) != 7 {
+		t.Errorf("reachable states = %d, want 7", len(ex.States))
+	}
+	done := p.Join([]psioa.State{"pdone", "rdone"})
+	if _, ok := ex.Sigs[done]; !ok {
+		t.Error("terminal state unreachable")
+	}
+}
+
+func TestCompatAtDetectsOutputClash(t *testing.T) {
+	// Two automata that both output "o" at some state: incompatible.
+	mk := func(id string) *psioa.Table {
+		return psioa.NewBuilder(id, "q").
+			AddState("q", psioa.NewSignature(nil, []psioa.Action{"o"}, nil)).
+			AddDet("q", "o", "q").
+			MustBuild()
+	}
+	p := psioa.MustCompose(mk("a"), mk("b"))
+	if err := p.CompatAt(p.Start()); err == nil {
+		t.Error("output clash not detected")
+	}
+	if _, err := psioa.Explore(p, 10); err == nil {
+		t.Error("Explore should surface incompatibility")
+	}
+	if err := psioa.CheckPartiallyCompatible(10, mk("a"), mk("b")); err == nil {
+		t.Error("CheckPartiallyCompatible should fail")
+	}
+}
+
+func TestPartialCompatibilityOnlyReachableMatters(t *testing.T) {
+	// a and b clash only at a state unreachable under composition.
+	a := psioa.NewBuilder("a", "q0").
+		AddState("q0", psioa.NewSignature(nil, []psioa.Action{"ok_a"}, nil)).
+		AddState("bad", psioa.NewSignature(nil, []psioa.Action{"clash"}, nil)).
+		AddDet("q0", "ok_a", "q0").
+		AddDet("bad", "clash", "bad").
+		MustBuild()
+	b := psioa.NewBuilder("b", "q0").
+		AddState("q0", psioa.NewSignature(nil, []psioa.Action{"ok_b"}, nil)).
+		AddState("bad", psioa.NewSignature(nil, []psioa.Action{"clash"}, nil)).
+		AddDet("q0", "ok_b", "q0").
+		AddDet("bad", "clash", "bad").
+		MustBuild()
+	if err := psioa.CheckPartiallyCompatible(100, a, b); err != nil {
+		t.Errorf("partially compatible pair rejected: %v", err)
+	}
+}
+
+func TestProjectID(t *testing.T) {
+	p := psioa.MustCompose(testaut.Coin("a", 0.5), testaut.Coin("b", 0.5))
+	q, ok := p.ProjectID(p.Start(), "b")
+	if !ok || q != "q0" {
+		t.Errorf("ProjectID = %q,%v", q, ok)
+	}
+	if _, ok := p.ProjectID(p.Start(), "zzz"); ok {
+		t.Error("ProjectID found nonexistent component")
+	}
+}
+
+func TestJoinSplitRoundTrip(t *testing.T) {
+	p := psioa.MustCompose(testaut.Coin("a", 0.5), testaut.Coin("b", 0.5))
+	qs := []psioa.State{"h", "t"}
+	if got := p.Split(p.Join(qs)); got[0] != "h" || got[1] != "t" {
+		t.Errorf("Join/Split round trip = %v", got)
+	}
+}

@@ -1,0 +1,64 @@
+package psioa_test
+
+import (
+	"fmt"
+
+	"repro/internal/psioa"
+	"repro/internal/testaut"
+)
+
+// ExampleCompose builds the parallel composition of two automata and shows
+// the composed signature at the start state: matched input/output pairs
+// become outputs of the composition (Def 2.4).
+func ExampleCompose() {
+	pinger, ponger := testaut.PingPong(1)
+	w, err := psioa.Compose(pinger, ponger)
+	if err != nil {
+		panic(err)
+	}
+	sig := w.Sig(w.Start())
+	fmt.Println("in: ", sig.In)
+	fmt.Println("out:", sig.Out)
+	// Output:
+	// in:  {pong}
+	// out: {ping}
+}
+
+// ExampleHideSet reclassifies an output action as internal (Def 2.6): the
+// trace no longer shows it, but the dynamics are unchanged.
+func ExampleHideSet() {
+	c := testaut.Coin("c", 1.0) // always heads
+	h := psioa.HideSet(c, psioa.NewActionSet("heads_c"))
+	fmt.Println("before:", c.Sig("h").Out)
+	fmt.Println("after: ", h.Sig("h").Out, "internal:", h.Sig("h").Int)
+	// Output:
+	// before: {heads_c}
+	// after:  {} internal: {heads_c}
+}
+
+// ExampleRenameMap applies an injective action renaming (Def 2.8),
+// preserving the transition structure (Lemma A.1).
+func ExampleRenameMap() {
+	c := testaut.Coin("c", 1.0)
+	r := psioa.RenameMap(c, map[psioa.Action]psioa.Action{"heads_c": "fresh_name"})
+	fmt.Println(r.Sig("h").Out)
+	fmt.Println(r.Trans("h", "fresh_name").P("done"))
+	// Output:
+	// {fresh_name}
+	// 1
+}
+
+// ExampleExplore performs a bounded reachability analysis and reports the
+// reachable fragment.
+func ExampleExplore() {
+	c := testaut.Coin("c", 0.5)
+	ex, err := psioa.Explore(c, 100)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("states:", len(ex.States))
+	fmt.Println("acts:  ", ex.Acts)
+	// Output:
+	// states: 4
+	// acts:   {flip_c,heads_c,tails_c}
+}

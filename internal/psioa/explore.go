@@ -1,0 +1,135 @@
+package psioa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Exploration is the result of a bounded breadth-first reachability
+// analysis of an automaton.
+type Exploration struct {
+	// States are the reachable states in BFS discovery order.
+	States []State
+	// Sigs maps each reachable state to its signature.
+	Sigs map[State]Signature
+	// Acts is the union of all reachable signatures: the reachable part of
+	// acts(A).
+	Acts ActionSet
+	// Truncated reports whether the state limit was hit before the
+	// reachable set was exhausted.
+	Truncated bool
+}
+
+// Explore performs bounded BFS from the start state, following the supports
+// of all enabled transitions. limit bounds the number of distinct states
+// visited; when the reachable set is larger, Truncated is set and the
+// result covers the first limit states. Component incompatibility (for
+// composite automata) is reported as an error.
+func Explore(a PSIOA, limit int) (*Exploration, error) {
+	ex := &Exploration{Sigs: make(map[State]Signature), Acts: NewActionSet()}
+	start := a.Start()
+	queue := []State{start}
+	seen := map[State]bool{start: true}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		if cc, ok := a.(compatAtChecker); ok {
+			if err := cc.CompatAt(q); err != nil {
+				return nil, err
+			}
+		}
+		sig := a.Sig(q)
+		ex.States = append(ex.States, q)
+		ex.Sigs[q] = sig
+		// Deterministic discovery order: sorted actions, sorted successors.
+		// This makes truncated explorations reproducible run to run.
+		for _, act := range sig.All().Sorted() {
+			ex.Acts.Add(act)
+			succs := a.Trans(q, act).Support()
+			sort.Slice(succs, func(i, j int) bool { return succs[i] < succs[j] })
+			for _, q2 := range succs {
+				if !seen[q2] {
+					if len(seen) >= limit {
+						ex.Truncated = true
+						continue
+					}
+					seen[q2] = true
+					queue = append(queue, q2)
+				}
+			}
+		}
+	}
+	return ex, nil
+}
+
+// SortedStates returns the reachable states in lexicographic order.
+func (ex *Exploration) SortedStates() []State {
+	out := append([]State(nil), ex.States...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks the PSIOA constraints of Def 2.1 on the reachable
+// fragment (up to limit states): signature disjointness, action enabling
+// with probability-measure transitions, and — for composite automata —
+// compatibility at every reachable state (partial compatibility, §2.6) and
+// renaming injectivity (Lemma A.1 requirement).
+func Validate(a PSIOA, limit int) error {
+	ex, err := Explore(a, limit)
+	if err != nil {
+		return err
+	}
+	for _, q := range ex.States {
+		sig := ex.Sigs[q]
+		if err := sig.CheckDisjoint(); err != nil {
+			return fmt.Errorf("psioa: %q state %q: %w", a.ID(), q, err)
+		}
+		var verr error
+		sig.ForEachAction(func(act Action) {
+			if verr != nil {
+				return
+			}
+			d := a.Trans(q, act)
+			if !d.IsProb() {
+				verr = fmt.Errorf("psioa: %q transition (%q,%q): total mass %v, want 1", a.ID(), q, act, d.Total())
+			}
+		})
+		if verr != nil {
+			return verr
+		}
+	}
+	return nil
+}
+
+// ActsUniverse returns the reachable part of acts(A) =
+// ∪_q sig(A)(q)^, computed by bounded exploration.
+func ActsUniverse(a PSIOA, limit int) (ActionSet, error) {
+	ex, err := Explore(a, limit)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Acts, nil
+}
+
+// CheckPartiallyCompatible verifies that the automata are partially
+// compatible (§2.6): every reachable state of their composition is
+// compatible. It is the executable rendering of Def 3.3's requirement for
+// environments.
+func CheckPartiallyCompatible(limit int, auts ...PSIOA) error {
+	p, err := Compose(auts...)
+	if err != nil {
+		return err
+	}
+	_, err = Explore(p, limit)
+	return err
+}
+
+// Reachable reports whether q is reachable in A within the state limit.
+func Reachable(a PSIOA, q State, limit int) (bool, error) {
+	ex, err := Explore(a, limit)
+	if err != nil {
+		return false, err
+	}
+	_, ok := ex.Sigs[q]
+	return ok, nil
+}

@@ -1,0 +1,176 @@
+package psioa
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+)
+
+// Frag is an execution fragment (Def 2.2): an alternating sequence
+// q⁰ a¹ q¹ a² ... ending with a state. Frags are immutable: Extend and
+// Concat return new fragments.
+type Frag struct {
+	states  []State // len(states) == len(actions)+1
+	actions []Action
+}
+
+// NewFrag returns the zero-length fragment at q0.
+func NewFrag(q0 State) *Frag {
+	return &Frag{states: []State{q0}}
+}
+
+// FromAlternating builds a fragment from explicit state and action slices.
+func FromAlternating(states []State, actions []Action) (*Frag, error) {
+	if len(states) != len(actions)+1 {
+		return nil, fmt.Errorf("psioa: fragment needs len(states)==len(actions)+1, got %d/%d", len(states), len(actions))
+	}
+	return &Frag{
+		states:  append([]State(nil), states...),
+		actions: append([]Action(nil), actions...),
+	}, nil
+}
+
+// Len returns |α|, the number of transitions along the fragment.
+func (f *Frag) Len() int { return len(f.actions) }
+
+// FState returns fstate(α), the first state.
+func (f *Frag) FState() State { return f.states[0] }
+
+// LState returns lstate(α), the last state.
+func (f *Frag) LState() State { return f.states[len(f.states)-1] }
+
+// States returns a copy of the state sequence.
+func (f *Frag) States() []State { return append([]State(nil), f.states...) }
+
+// Actions returns a copy of the action sequence.
+func (f *Frag) Actions() []Action { return append([]Action(nil), f.actions...) }
+
+// StateAt returns qⁱ.
+func (f *Frag) StateAt(i int) State { return f.states[i] }
+
+// ActionAt returns aⁱ⁺¹ (the action leaving state i).
+func (f *Frag) ActionAt(i int) Action { return f.actions[i] }
+
+// Extend returns the fragment α⌢(a, q′) = α lstate(α) a q′.
+func (f *Frag) Extend(a Action, q State) *Frag {
+	return &Frag{
+		states:  append(append([]State(nil), f.states...), q),
+		actions: append(append([]Action(nil), f.actions...), a),
+	}
+}
+
+// Concat implements the ⌢ operator: α⌢α′ is defined only when
+// fstate(α′) == lstate(α).
+func (f *Frag) Concat(g *Frag) (*Frag, error) {
+	if g.FState() != f.LState() {
+		return nil, fmt.Errorf("psioa: concat undefined: lstate %q != fstate %q", f.LState(), g.FState())
+	}
+	return &Frag{
+		states:  append(append([]State(nil), f.states...), g.states[1:]...),
+		actions: append(append([]Action(nil), f.actions...), g.actions...),
+	}, nil
+}
+
+// IsPrefixOf reports whether f ≤ g (f is a prefix of g).
+func (f *Frag) IsPrefixOf(g *Frag) bool {
+	if f.Len() > g.Len() {
+		return false
+	}
+	for i, q := range f.states {
+		if g.states[i] != q {
+			return false
+		}
+	}
+	for i, a := range f.actions {
+		if g.actions[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// IsProperPrefixOf reports whether f < g.
+func (f *Frag) IsProperPrefixOf(g *Frag) bool {
+	return f.Len() < g.Len() && f.IsPrefixOf(g)
+}
+
+// Key returns a canonical injective encoding of the fragment, used as the
+// support element of execution measures.
+func (f *Frag) Key() string {
+	parts := make([]string, 0, len(f.states)+len(f.actions))
+	for i, q := range f.states {
+		parts = append(parts, string(q))
+		if i < len(f.actions) {
+			parts = append(parts, string(f.actions[i]))
+		}
+	}
+	return codec.EncodeTuple(parts)
+}
+
+// FragFromKey decodes a fragment key produced by Key.
+func FragFromKey(key string) (*Frag, error) {
+	parts, err := codec.DecodeTuple(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts)%2 == 0 {
+		return nil, fmt.Errorf("psioa: fragment key %q has even length %d", key, len(parts))
+	}
+	f := &Frag{}
+	for i, p := range parts {
+		if i%2 == 0 {
+			f.states = append(f.states, State(p))
+		} else {
+			f.actions = append(f.actions, Action(p))
+		}
+	}
+	return f, nil
+}
+
+// Trace returns trace(α) w.r.t. automaton A: the restriction of the action
+// sequence to the actions that are external in the signature of the state
+// they leave (Def 2.2).
+func (f *Frag) Trace(a PSIOA) []Action {
+	var tr []Action
+	for i, act := range f.actions {
+		if a.Sig(f.states[i]).Ext().Has(act) {
+			tr = append(tr, act)
+		}
+	}
+	return tr
+}
+
+// TraceKey returns a canonical encoding of Trace for use as an insight
+// value.
+func (f *Frag) TraceKey(a PSIOA) string {
+	tr := f.Trace(a)
+	parts := make([]string, len(tr))
+	for i, act := range tr {
+		parts[i] = string(act)
+	}
+	return codec.EncodeTuple(parts)
+}
+
+// IsExecOf reports whether f is an execution fragment of A: every step
+// (qⁱ, aⁱ⁺¹, qⁱ⁺¹) must be in steps(A).
+func (f *Frag) IsExecOf(a PSIOA) bool {
+	for i, act := range f.actions {
+		q := f.states[i]
+		if !a.Sig(q).All().Has(act) {
+			return false
+		}
+		if a.Trans(q, act).P(f.states[i+1]) <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the fragment for diagnostics.
+func (f *Frag) String() string {
+	s := string(f.states[0])
+	for i, a := range f.actions {
+		s += fmt.Sprintf(" --%s--> %s", a, f.states[i+1])
+	}
+	return s
+}

@@ -1,0 +1,164 @@
+package psioa_test
+
+import (
+	"testing"
+
+	"repro/internal/psioa"
+	"repro/internal/testaut"
+)
+
+func TestHideSetMovesOutputs(t *testing.T) {
+	c := testaut.Coin("c", 0.5)
+	h := psioa.HideSet(c, psioa.NewActionSet("heads_c"))
+	sig := h.Sig("h")
+	if sig.Out.Has("heads_c") {
+		t.Error("hidden action still in Out")
+	}
+	if !sig.Int.Has("heads_c") {
+		t.Error("hidden action not in Int")
+	}
+	// Transition content unchanged.
+	if h.Trans("h", "heads_c").P("done") != 1 {
+		t.Error("hiding changed transitions")
+	}
+	if err := psioa.Validate(h, 100); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if h.ID() != "hide(c)" {
+		t.Errorf("ID = %q", h.ID())
+	}
+}
+
+func TestHideStateDependent(t *testing.T) {
+	c := testaut.Coin("c", 0.5)
+	h := psioa.Hide(c, func(q psioa.State) psioa.ActionSet {
+		if q == "h" {
+			return psioa.NewActionSet("heads_c")
+		}
+		return psioa.NewActionSet()
+	})
+	if !h.Sig("h").Int.Has("heads_c") {
+		t.Error("hide at h failed")
+	}
+	if !h.Sig("t").Out.Has("tails_c") {
+		t.Error("hide leaked to state t")
+	}
+	if !h.HiddenAt("h").Has("heads_c") {
+		t.Error("HiddenAt wrong")
+	}
+}
+
+func TestHideDoesNotTouchInputs(t *testing.T) {
+	c := testaut.OpenCoin("c", 0.5)
+	h := psioa.HideSet(c, psioa.NewActionSet("go_c"))
+	if !h.Sig("q0").In.Has("go_c") {
+		t.Error("hiding removed an input action; Def 2.6 only moves outputs")
+	}
+}
+
+func TestHideIdempotentOnSignature(t *testing.T) {
+	c := testaut.Coin("c", 0.5)
+	s := psioa.NewActionSet("heads_c", "tails_c")
+	h1 := psioa.HideSet(c, s)
+	h2 := psioa.HideSet(h1, s)
+	for _, q := range []psioa.State{"q0", "h", "t", "done"} {
+		if !h1.Sig(q).Equal(h2.Sig(q)) {
+			t.Errorf("hide not idempotent at %q", q)
+		}
+	}
+}
+
+func TestRenameMap(t *testing.T) {
+	c := testaut.Coin("c", 0.5)
+	r := psioa.RenameMap(c, map[psioa.Action]psioa.Action{"heads_c": "H", "tails_c": "T"})
+	if !r.Sig("h").Out.Has("H") || r.Sig("h").Out.Has("heads_c") {
+		t.Errorf("renamed sig = %v", r.Sig("h"))
+	}
+	// Def 2.8 item 4: η_{(r(A),q,r(a))} = η_{(A),q,a}.
+	if r.Trans("h", "H").P("done") != 1 {
+		t.Error("renamed transition wrong")
+	}
+	if err := psioa.Validate(r, 100); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Unmapped actions unchanged.
+	if !r.Sig("q0").Int.Has("flip_c") {
+		t.Error("unmapped action renamed")
+	}
+}
+
+func TestRenameNonInjectiveDetected(t *testing.T) {
+	c := testaut.Coin("c", 0.5)
+	// Collapse both outputs of state... heads and tails never co-occur in one
+	// signature, so collapsing them is fine per state. Instead collapse a
+	// renamed action onto a co-occurring one.
+	two := psioa.NewBuilder("two", "q").
+		AddState("q", psioa.NewSignature(nil, []psioa.Action{"a", "b"}, nil)).
+		AddDet("q", "a", "q").
+		AddDet("q", "b", "q").
+		MustBuild()
+	r := psioa.Rename(two, func(_ psioa.State, a psioa.Action) psioa.Action { return "same" })
+	if err := r.CompatAt("q"); err == nil {
+		t.Error("non-injective renaming not detected by CompatAt")
+	}
+	if err := psioa.Validate(r, 10); err == nil {
+		t.Error("non-injective renaming not detected by Validate")
+	}
+	// Per-state collapsing that never conflicts is fine (heads/tails of coin).
+	ok := psioa.Rename(c, func(_ psioa.State, a psioa.Action) psioa.Action {
+		if a == "heads_c" || a == "tails_c" {
+			return "outcome"
+		}
+		return a
+	})
+	if err := psioa.Validate(ok, 100); err != nil {
+		t.Errorf("state-wise injective renaming rejected: %v", err)
+	}
+}
+
+func TestRenameTransPanicsOnUnknown(t *testing.T) {
+	c := testaut.Coin("c", 0.5)
+	r := psioa.RenameMap(c, map[psioa.Action]psioa.Action{"heads_c": "H"})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for action with no pre-image")
+		}
+	}()
+	r.Trans("h", "heads_c") // old name no longer exists
+}
+
+func TestFreshRenamingAndInverse(t *testing.T) {
+	s := psioa.NewActionSet("a", "b")
+	m := psioa.FreshRenaming("g_", s)
+	if m["a"] != "g_a" || m["b"] != "g_b" {
+		t.Errorf("FreshRenaming = %v", m)
+	}
+	inv := psioa.InvertRenaming(m)
+	if inv["g_a"] != "a" {
+		t.Errorf("InvertRenaming = %v", inv)
+	}
+}
+
+func TestInvertRenamingPanicsOnNonInjective(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	psioa.InvertRenaming(map[psioa.Action]psioa.Action{"a": "x", "b": "x"})
+}
+
+func TestHideOfComposePropagatesCompat(t *testing.T) {
+	// hide over an incompatible product must still report incompatibility.
+	mk := func(id string) *psioa.Table {
+		return psioa.NewBuilder(id, "q").
+			AddState("q", psioa.NewSignature(nil, []psioa.Action{"o"}, nil)).
+			AddDet("q", "o", "q").
+			MustBuild()
+	}
+	p := psioa.MustCompose(mk("a"), mk("b"))
+	h := psioa.HideSet(p, psioa.NewActionSet("o"))
+	if _, err := psioa.Explore(h, 10); err == nil {
+		t.Error("incompatibility hidden by Hide wrapper")
+	}
+}

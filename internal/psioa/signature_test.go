@@ -1,0 +1,199 @@
+package psioa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestActionSetOps(t *testing.T) {
+	s := NewActionSet("a", "b")
+	tt := NewActionSet("b", "c")
+	if !s.Has("a") || s.Has("c") {
+		t.Error("Has wrong")
+	}
+	if u := s.Union(tt); len(u) != 3 {
+		t.Errorf("Union size = %d", len(u))
+	}
+	if m := s.Minus(tt); !m.Equal(NewActionSet("a")) {
+		t.Errorf("Minus = %v", m)
+	}
+	if i := s.Intersect(tt); !i.Equal(NewActionSet("b")) {
+		t.Errorf("Intersect = %v", i)
+	}
+	if s.Disjoint(tt) {
+		t.Error("Disjoint wrong: share b")
+	}
+	if !NewActionSet("x").Disjoint(NewActionSet("y")) {
+		t.Error("Disjoint wrong: no overlap")
+	}
+}
+
+func TestActionSetCopyIndependent(t *testing.T) {
+	s := NewActionSet("a")
+	c := s.Copy()
+	c.Add("b")
+	if s.Has("b") {
+		t.Error("Copy not independent")
+	}
+}
+
+func TestActionSetSortedAndString(t *testing.T) {
+	s := NewActionSet("c", "a", "b")
+	sorted := s.Sorted()
+	if sorted[0] != "a" || sorted[1] != "b" || sorted[2] != "c" {
+		t.Errorf("Sorted = %v", sorted)
+	}
+	if s.String() != "{a,b,c}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestActionSetKeyCanonical(t *testing.T) {
+	a := NewActionSet("x", "y")
+	b := NewActionSet("y", "x")
+	if a.Key() != b.Key() {
+		t.Error("Key not canonical")
+	}
+	if a.Key() == NewActionSet("x").Key() {
+		t.Error("Key collision for different sets")
+	}
+}
+
+func TestActionSetAlgebraQuick(t *testing.T) {
+	mk := func(bits uint8) ActionSet {
+		s := NewActionSet()
+		names := []Action{"a", "b", "c", "d", "e"}
+		for i, n := range names {
+			if bits&(1<<i) != 0 {
+				s.Add(n)
+			}
+		}
+		return s
+	}
+	prop := func(x, y uint8) bool {
+		s, u := mk(x), mk(y)
+		// (s ∪ u) \ u ⊆ s, s ∩ u ⊆ s, De Morgan-ish sanity.
+		for a := range s.Union(u).Minus(u) {
+			if !s.Has(a) {
+				return false
+			}
+		}
+		for a := range s.Intersect(u) {
+			if !s.Has(a) || !u.Has(a) {
+				return false
+			}
+		}
+		return s.Disjoint(u) == (len(s.Intersect(u)) == 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 256}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignatureDisjoint(t *testing.T) {
+	good := NewSignature([]Action{"i"}, []Action{"o"}, []Action{"h"})
+	if err := good.CheckDisjoint(); err != nil {
+		t.Errorf("valid signature rejected: %v", err)
+	}
+	bad := NewSignature([]Action{"x"}, []Action{"x"}, nil)
+	if err := bad.CheckDisjoint(); err == nil {
+		t.Error("in/out overlap accepted")
+	}
+	bad2 := NewSignature([]Action{"x"}, nil, []Action{"x"})
+	if err := bad2.CheckDisjoint(); err == nil {
+		t.Error("in/int overlap accepted")
+	}
+	bad3 := NewSignature(nil, []Action{"x"}, []Action{"x"})
+	if err := bad3.CheckDisjoint(); err == nil {
+		t.Error("out/int overlap accepted")
+	}
+}
+
+func TestSignatureExtAll(t *testing.T) {
+	s := NewSignature([]Action{"i"}, []Action{"o"}, []Action{"h"})
+	if !s.Ext().Equal(NewActionSet("i", "o")) {
+		t.Errorf("Ext = %v", s.Ext())
+	}
+	if !s.All().Equal(NewActionSet("i", "o", "h")) {
+		t.Errorf("All = %v", s.All())
+	}
+	if s.IsEmpty() {
+		t.Error("non-empty signature reported empty")
+	}
+	if !EmptySignature().IsEmpty() {
+		t.Error("empty signature not reported empty")
+	}
+}
+
+func TestCompatibleSignatures(t *testing.T) {
+	s1 := NewSignature([]Action{"m"}, []Action{"a"}, []Action{"h1"})
+	s2 := NewSignature([]Action{"a"}, []Action{"m"}, []Action{"h2"})
+	if err := CompatibleSignatures([]Signature{s1, s2}); err != nil {
+		t.Errorf("compatible pair rejected: %v", err)
+	}
+	// Output/output clash (Def 2.3 condition 2).
+	s3 := NewSignature(nil, []Action{"a"}, nil)
+	if err := CompatibleSignatures([]Signature{s1, s3}); err == nil {
+		t.Error("shared outputs accepted")
+	}
+	// Internal action clash (Def 2.3 condition 1).
+	s4 := NewSignature(nil, nil, []Action{"m"})
+	if err := CompatibleSignatures([]Signature{s1, s4}); err == nil {
+		t.Error("internal overlap accepted")
+	}
+}
+
+func TestComposeSignatures(t *testing.T) {
+	// Def 2.4: matched in/out become output of the composition.
+	s1 := NewSignature([]Action{"req"}, []Action{"rsp"}, []Action{"t1"})
+	s2 := NewSignature([]Action{"rsp"}, []Action{"req"}, []Action{"t2"})
+	c := ComposeSignatures([]Signature{s1, s2})
+	if len(c.In) != 0 {
+		t.Errorf("composed In = %v, want empty", c.In)
+	}
+	if !c.Out.Equal(NewActionSet("req", "rsp")) {
+		t.Errorf("composed Out = %v", c.Out)
+	}
+	if !c.Int.Equal(NewActionSet("t1", "t2")) {
+		t.Errorf("composed Int = %v", c.Int)
+	}
+}
+
+func TestComposeSignaturesAssocComm(t *testing.T) {
+	s1 := NewSignature([]Action{"a"}, []Action{"b"}, nil)
+	s2 := NewSignature([]Action{"b"}, []Action{"c"}, nil)
+	s3 := NewSignature([]Action{"c"}, []Action{"d"}, nil)
+	left := ComposeSignatures([]Signature{ComposeSignatures([]Signature{s1, s2}), s3})
+	right := ComposeSignatures([]Signature{s1, ComposeSignatures([]Signature{s2, s3})})
+	flat := ComposeSignatures([]Signature{s1, s2, s3})
+	if !left.Equal(right) || !left.Equal(flat) {
+		t.Errorf("associativity broken:\n left=%v\nright=%v\n flat=%v", left, right, flat)
+	}
+	perm := ComposeSignatures([]Signature{s3, s1, s2})
+	if !perm.Equal(flat) {
+		t.Error("commutativity broken")
+	}
+}
+
+func TestHideSignature(t *testing.T) {
+	s := NewSignature([]Action{"i"}, []Action{"o1", "o2"}, []Action{"h"})
+	hd := HideSignature(s, NewActionSet("o1", "i", "zzz"))
+	if !hd.Out.Equal(NewActionSet("o2")) {
+		t.Errorf("hidden Out = %v", hd.Out)
+	}
+	if !hd.Int.Equal(NewActionSet("h", "o1")) {
+		t.Errorf("hidden Int = %v", hd.Int)
+	}
+	// Hiding never touches inputs (Def 2.6 only moves out∩S).
+	if !hd.In.Equal(s.In) {
+		t.Errorf("hidden In = %v", hd.In)
+	}
+}
+
+func TestMapActions(t *testing.T) {
+	s := NewActionSet("a", "b")
+	m := s.MapActions(func(a Action) Action { return "g_" + a })
+	if !m.Equal(NewActionSet("g_a", "g_b")) {
+		t.Errorf("MapActions = %v", m)
+	}
+}

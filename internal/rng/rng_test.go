@@ -1,0 +1,98 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds collided %d/64 times", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(7).Split(3)
+	b := New(7).Split(3)
+	for i := 0; i < 50; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestSplitIndependent(t *testing.T) {
+	parent := New(7)
+	s1 := parent.Split(1)
+	parent2 := New(7)
+	s2 := parent2.Split(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("split streams collided %d/64 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(99)
+	sum := 0.0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean of %d uniforms = %v, want ≈0.5", n, mean)
+	}
+}
+
+func TestIntN(t *testing.T) {
+	s := New(5)
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		v := s.IntN(4)
+		if v < 0 || v >= 4 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("bucket %d count %d outside [800,1200]", i, c)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	p := New(11).Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}

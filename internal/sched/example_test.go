@@ -1,0 +1,65 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/testaut"
+)
+
+// ExampleMeasure computes the exact execution measure ε_σ of a bounded
+// scheduler (Section 3): the coin's two branches carry their exact
+// probabilities.
+func ExampleMeasure() {
+	c := testaut.Coin("c", 0.25)
+	s := &sched.Greedy{A: c, Bound: 5, LocalOnly: true}
+	em, err := sched.Measure(c, s, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("executions: %d, total mass: %.2f\n", em.Len(), em.Total())
+	em.ForEach(func(f *psioa.Frag, p float64) {
+		fmt.Printf("  %.2f  %v\n", p, f.Actions())
+	})
+	// Output:
+	// executions: 2, total mass: 1.00
+	//   0.25  [flip_c heads_c]
+	//   0.75  [flip_c tails_c]
+}
+
+// ExampleSequence runs a fully off-line (oblivious) scheduler: it attempts
+// a fixed action sequence, halting when the next action is disabled.
+func ExampleSequence() {
+	c := testaut.Coin("c", 1.0) // always heads
+	s := &sched.Sequence{A: c, Acts: []psioa.Action{"flip_c", "tails_c"}}
+	em, err := sched.Measure(c, s, 10)
+	if err != nil {
+		panic(err)
+	}
+	em.ForEach(func(f *psioa.Frag, p float64) {
+		fmt.Printf("%.0f%%: halted after %d steps\n", 100*p, f.Len())
+	})
+	// Output:
+	// 100%: halted after 1 steps
+}
+
+// ExampleTaskSchedule drives an automaton with a task sequence in the style
+// of task-PIOA [3]: the "report" task fires whichever outcome action is
+// enabled, without the schedule naming it explicitly.
+func ExampleTaskSchedule() {
+	c := testaut.Coin("c", 1.0)
+	s := &sched.TaskSchedule{A: c, Tasks: []sched.Task{
+		sched.NewTask("flip", "flip_c"),
+		sched.NewTask("report", "heads_c", "tails_c"),
+	}}
+	em, err := sched.Measure(c, s, 10)
+	if err != nil {
+		panic(err)
+	}
+	em.ForEach(func(f *psioa.Frag, p float64) {
+		fmt.Println(f.Actions())
+	})
+	// Output:
+	// [flip_c heads_c]
+}

@@ -1,0 +1,132 @@
+package sched_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/insight"
+	"repro/internal/measure"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/testaut"
+)
+
+func TestMixScheduler(t *testing.T) {
+	c := testaut.Coin("c", 1.0) // deterministic heads
+	s1 := &sched.Sequence{A: c, Acts: []psioa.Action{"flip_c", "heads_c"}}
+	s2 := &sched.Sequence{A: c, Acts: []psioa.Action{"flip_c"}}
+	mix := &sched.Mix{Weights: []float64{0.5, 0.5}, Inner: []sched.Scheduler{s1, s2}}
+	em, err := sched.Measure(c, mix, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the mass completes (len 2), half halts after the flip (len 1).
+	long := psioa.NewFrag("q0").Extend("flip_c", "h").Extend("heads_c", "done")
+	short := psioa.NewFrag("q0").Extend("flip_c", "h")
+	if math.Abs(em.P(long)-0.5) > 1e-9 || math.Abs(em.P(short)-0.5) > 1e-9 {
+		t.Errorf("mix measure wrong: P(long)=%v P(short)=%v", em.P(long), em.P(short))
+	}
+}
+
+func TestMixIsConvexOnPerceptions(t *testing.T) {
+	// f-dist of a mixture is the mixture of the f-dists: the scheduler
+	// space of Def 3.1 is convex and perception is affine in the scheduler.
+	c := testaut.Coin("c", 0.5)
+	s1 := &sched.Sequence{A: c, Acts: []psioa.Action{"flip_c", "heads_c"}}
+	s2 := &sched.Sequence{A: c, Acts: []psioa.Action{"flip_c", "tails_c"}}
+	w := 0.25
+	mix := &sched.Mix{Weights: []float64{w, 1 - w}, Inner: []sched.Scheduler{s1, s2}}
+	f := insight.Trace()
+	d1, err := insight.FDist(c, s1, f, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := insight.FDist(c, s2, f, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := insight.FDist(c, mix, f, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := measure.Mixture([]float64{w, 1 - w}, []*measure.Dist[string]{d1, d2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !measure.Equal(dm, want) {
+		t.Errorf("perception not affine:\n got %v\nwant %v", dm, want)
+	}
+}
+
+func TestMixName(t *testing.T) {
+	c := testaut.Coin("c", 0.5)
+	mix := &sched.Mix{Weights: []float64{1}, Inner: []sched.Scheduler{&sched.Greedy{A: c, Bound: 2}}}
+	if mix.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestMixInvalidWeightsPanics(t *testing.T) {
+	c := testaut.Coin("c", 0.5)
+	g := &sched.Greedy{A: c, Bound: 2}
+	mix := &sched.Mix{Weights: []float64{0.8, 0.8}, Inner: []sched.Scheduler{g, g}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for super-convex weights")
+		}
+	}()
+	mix.Choose(psioa.NewFrag("q0"))
+}
+
+func TestInputEnable(t *testing.T) {
+	c := testaut.Coin("c", 0.5)
+	universe := psioa.NewActionSet("extra1", "extra2", "flip_c")
+	ie := psioa.InputEnable(c, universe)
+	if err := psioa.Validate(ie, 100); err != nil {
+		t.Fatal(err)
+	}
+	sig := ie.Sig("q0")
+	// flip_c is already internal at q0 and must stay internal.
+	if !sig.Int.Has("flip_c") || sig.In.Has("flip_c") {
+		t.Errorf("existing action reclassified: %v", sig)
+	}
+	if !sig.In.Has("extra1") || !sig.In.Has("extra2") {
+		t.Errorf("universe actions missing: %v", sig)
+	}
+	// Added inputs are ignoring self-loops.
+	if ie.Trans("q0", "extra1").P("q0") != 1 {
+		t.Error("added input is not a self-loop")
+	}
+	// Existing transitions unchanged.
+	if math.Abs(ie.Trans("q0", "flip_c").P("h")-0.5) > 1e-9 {
+		t.Error("existing transition changed")
+	}
+	// Unknown actions still panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-universe action")
+		}
+	}()
+	ie.Trans("q0", "nope")
+}
+
+func TestInputEnableComposesAsEnvironment(t *testing.T) {
+	// An input-enabled listener tolerates every external action of the
+	// system it observes.
+	c := testaut.Coin("c", 0.5)
+	listener := psioa.NewBuilder("probe", "p0").
+		AddState("p0", psioa.NewSignature([]psioa.Action{"heads_c"}, nil, nil)).
+		AddDet("p0", "heads_c", "heard").
+		AddState("heard", psioa.NewSignature(nil, nil, nil)).
+		MustBuild()
+	// Raw composition panics on exploring tails_c... with input enabling it
+	// is fine.
+	ie := psioa.InputEnable(listener, psioa.NewActionSet("heads_c", "tails_c"))
+	if err := psioa.CheckPartiallyCompatible(1000, ie, c); err != nil {
+		t.Fatalf("input-enabled listener incompatible: %v", err)
+	}
+	w := psioa.MustCompose(ie, c)
+	if err := psioa.Validate(w, 1000); err != nil {
+		t.Fatal(err)
+	}
+}

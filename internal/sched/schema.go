@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/psioa"
+)
+
+// Schema is a scheduler schema (Def 3.2): a map from automata to sets of
+// schedulers. Since the full set is uncountable, schemas here are
+// *enumerable*: they produce the finite subset of schedulers used by the
+// exhaustive implementation checkers. The constructive parts of the
+// framework (witness functions, Forward^s, the composability
+// constructions) do not need enumeration and accept arbitrary schedulers.
+type Schema interface {
+	// Name identifies the schema in reports.
+	Name() string
+	// Enumerate returns the schema's schedulers for automaton a, restricted
+	// to bound-bounded ones.
+	Enumerate(a psioa.PSIOA, bound int) ([]Scheduler, error)
+}
+
+// ObliviousSchema enumerates all deterministic off-line schedulers
+// (Sequence) over the reachable action alphabet of the automaton, with
+// sequence length up to the bound. This is the "oblivious scheduler" schema
+// of §4.4: choices depend only on the step index, never on the state, so a
+// scheduler of this schema is trivially creation-oblivious as well.
+//
+// The enumeration is exponential in the bound; MaxCount caps it (an error
+// is returned when the cap would be exceeded, so checks never silently
+// under-cover).
+type ObliviousSchema struct {
+	// MaxCount caps the number of enumerated schedulers (default 100000).
+	MaxCount int
+	// ExploreLimit bounds the reachability analysis that discovers the
+	// action alphabet (default 10000 states).
+	ExploreLimit int
+	// AllowOrphanInputs lets the enumerated schedulers fire input actions
+	// with no outputting participant. Off by default: in a closed
+	// environment‖system world a scheduler injecting phantom inputs can
+	// fake any perception, which trivialises implementation checks.
+	AllowOrphanInputs bool
+}
+
+// Name implements Schema.
+func (o *ObliviousSchema) Name() string { return "oblivious" }
+
+// Enumerate implements Schema.
+func (o *ObliviousSchema) Enumerate(a psioa.PSIOA, bound int) ([]Scheduler, error) {
+	maxCount := o.MaxCount
+	if maxCount == 0 {
+		maxCount = 100000
+	}
+	limit := o.ExploreLimit
+	if limit == 0 {
+		limit = 10000
+	}
+	acts, err := psioa.ActsUniverse(a, limit)
+	if err != nil {
+		return nil, err
+	}
+	alpha := acts.Sorted()
+	// Count Σ_{l=0..bound} |alpha|^l against the cap before materialising.
+	total, pow := 0, 1
+	for l := 0; l <= bound; l++ {
+		total += pow
+		if total > maxCount {
+			return nil, fmt.Errorf("sched: oblivious enumeration over %d actions up to length %d exceeds cap %d", len(alpha), bound, maxCount)
+		}
+		pow *= len(alpha)
+		if len(alpha) == 0 {
+			break
+		}
+	}
+	var out []Scheduler
+	var rec func(prefix []psioa.Action)
+	rec = func(prefix []psioa.Action) {
+		seq := append([]psioa.Action(nil), prefix...)
+		out = append(out, &Sequence{A: a, Acts: seq, LocalOnly: !o.AllowOrphanInputs})
+		if len(prefix) == bound {
+			return
+		}
+		for _, act := range alpha {
+			rec(append(prefix, act))
+		}
+	}
+	rec(nil)
+	return out, nil
+}
+
+// FixedSchema is an explicit finite schema: a fixed list of schedulers per
+// automaton identifier (falling back to Default for unknown automata).
+type FixedSchema struct {
+	ID      string
+	PerAut  map[string][]Scheduler
+	Default func(a psioa.PSIOA, bound int) []Scheduler
+}
+
+// Name implements Schema.
+func (f *FixedSchema) Name() string { return f.ID }
+
+// Enumerate implements Schema.
+func (f *FixedSchema) Enumerate(a psioa.PSIOA, bound int) ([]Scheduler, error) {
+	if ss, ok := f.PerAut[a.ID()]; ok {
+		return ss, nil
+	}
+	if f.Default != nil {
+		return f.Default(a, bound), nil
+	}
+	return nil, nil
+}
+
+// PrefixPrioritySchema enumerates deterministic run-to-completion
+// schedulers, one per template. A template is an ordered list of action-name
+// prefixes; the scheduler's priority order ranks the automaton's reachable
+// actions by the first template entry that prefix-matches them (ties broken
+// lexicographically), and actions matching no entry are never scheduled.
+// All schedulers are locally controlled and bound-bounded.
+//
+// This is the pragmatic schema for protocol-sized systems, where the fully
+// oblivious enumeration explodes: each template expresses one adversarial
+// strategy ("deliver first", "block before delivery", ...), and the
+// exhaustive checker quantifies over all of them on both sides.
+type PrefixPrioritySchema struct {
+	Templates [][]string
+	// ExploreLimit bounds alphabet discovery (default 10000 states).
+	ExploreLimit int
+}
+
+// Name implements Schema.
+func (p *PrefixPrioritySchema) Name() string { return "prefix-priority" }
+
+// Enumerate implements Schema.
+func (p *PrefixPrioritySchema) Enumerate(a psioa.PSIOA, bound int) ([]Scheduler, error) {
+	limit := p.ExploreLimit
+	if limit == 0 {
+		limit = 10000
+	}
+	acts, err := psioa.ActsUniverse(a, limit)
+	if err != nil {
+		return nil, err
+	}
+	sorted := acts.Sorted()
+	out := make([]Scheduler, 0, len(p.Templates))
+	for _, tmpl := range p.Templates {
+		var order []psioa.Action
+		for _, prefix := range tmpl {
+			for _, act := range sorted {
+				if len(act) >= len(prefix) && string(act[:len(prefix)]) == prefix {
+					order = append(order, act)
+				}
+			}
+		}
+		out = append(out, &Priority{A: a, Order: order, Bound: bound, LocalOnly: true})
+	}
+	return out, nil
+}
+
+// BasicSchema returns the pragmatic default schema used by the examples:
+// one uniform random scheduler and one greedy scheduler, both bound-bounded.
+type BasicSchema struct{}
+
+// Name implements Schema.
+func (BasicSchema) Name() string { return "basic" }
+
+// Enumerate implements Schema.
+func (BasicSchema) Enumerate(a psioa.PSIOA, bound int) ([]Scheduler, error) {
+	return []Scheduler{
+		&Random{A: a, Bound: bound, LocalOnly: true},
+		&Greedy{A: a, Bound: bound, LocalOnly: true},
+	}, nil
+}

@@ -1,0 +1,162 @@
+package sched_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/testaut"
+)
+
+// coinTasks is the canonical task structure for the coin automaton: the
+// flip task and the report task {heads, tails} — exactly one report action
+// is enabled at any state, so the structure is next-transition
+// deterministic even though the task has two actions.
+func coinTasks() []sched.Task {
+	return []sched.Task{
+		sched.NewTask("flip", "flip_c"),
+		sched.NewTask("report", "heads_c", "tails_c"),
+	}
+}
+
+func TestTaskDeterminismHolds(t *testing.T) {
+	c := testaut.Coin("c", 0.5)
+	if err := sched.CheckTaskDeterminism(c, coinTasks(), 100); err != nil {
+		t.Errorf("coin task structure rejected: %v", err)
+	}
+}
+
+func TestTaskDeterminismViolation(t *testing.T) {
+	// An automaton with two simultaneously-enabled actions in one task.
+	a := psioa.NewBuilder("amb", "q").
+		AddState("q", psioa.NewSignature(nil, []psioa.Action{"x", "y"}, nil)).
+		AddDet("q", "x", "q").
+		AddDet("q", "y", "q").
+		MustBuild()
+	bad := []sched.Task{sched.NewTask("both", "x", "y")}
+	err := sched.CheckTaskDeterminism(a, bad, 10)
+	if err == nil || !strings.Contains(err.Error(), "determinism") {
+		t.Errorf("ambiguous task accepted: %v", err)
+	}
+}
+
+func TestTaskScheduleRuns(t *testing.T) {
+	c := testaut.Coin("c", 0.25)
+	s := &sched.TaskSchedule{A: c, Tasks: []sched.Task{
+		sched.NewTask("flip", "flip_c"),
+		sched.NewTask("report", "heads_c", "tails_c"),
+	}}
+	em, err := sched.Measure(c, s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.Len() != 2 || math.Abs(em.Total()-1) > 1e-9 {
+		t.Fatalf("support=%d total=%v", em.Len(), em.Total())
+	}
+	// Despite the probabilistic branch, the report task fires the right
+	// action on each side: both executions have length 2.
+	em.ForEach(func(f *psioa.Frag, p float64) {
+		if f.Len() != 2 {
+			t.Errorf("execution %v has length %d, want 2", f, f.Len())
+		}
+	})
+}
+
+func TestTaskScheduleSkipsDisabledTasks(t *testing.T) {
+	c := testaut.Coin("c", 1.0) // always heads
+	s := &sched.TaskSchedule{A: c, Tasks: []sched.Task{
+		sched.NewTask("report", "heads_c", "tails_c"), // disabled at start → skipped
+		sched.NewTask("flip", "flip_c"),
+		sched.NewTask("report2", "heads_c", "tails_c"),
+	}}
+	em, err := sched.Measure(c, s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.Len() != 1 {
+		t.Fatalf("support = %d", em.Len())
+	}
+	em.ForEach(func(f *psioa.Frag, p float64) {
+		if f.Len() != 2 || f.ActionAt(0) != "flip_c" || f.ActionAt(1) != "heads_c" {
+			t.Errorf("unexpected execution %v", f)
+		}
+	})
+}
+
+func TestTaskScheduleHaltsOnAmbiguity(t *testing.T) {
+	a := psioa.NewBuilder("amb", "q").
+		AddState("q", psioa.NewSignature(nil, []psioa.Action{"x", "y"}, nil)).
+		AddDet("q", "x", "q").
+		AddDet("q", "y", "q").
+		MustBuild()
+	s := &sched.TaskSchedule{A: a, Tasks: []sched.Task{sched.NewTask("both", "x", "y")}}
+	em, err := sched.Measure(a, s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ambiguous task halts immediately: all mass on the empty execution.
+	if em.MaxLen() != 0 {
+		t.Errorf("ambiguous schedule executed actions: maxlen=%d", em.MaxLen())
+	}
+}
+
+func TestTaskScheduleName(t *testing.T) {
+	c := testaut.Coin("c", 0.5)
+	s := &sched.TaskSchedule{A: c, Tasks: coinTasks()}
+	if !strings.Contains(s.Name(), "flip") || !strings.Contains(s.Name(), "report") {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestTaskSchemaEnumerate(t *testing.T) {
+	c := testaut.Coin("c", 0.5)
+	schema := &sched.TaskSchema{Tasks: coinTasks()}
+	ss, err := schema.Enumerate(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 + 2 + 4 = 7 schedules.
+	if len(ss) != 7 {
+		t.Errorf("enumerated %d, want 7", len(ss))
+	}
+	for _, s := range ss {
+		if err := sched.IsBounded(c, s, 2); err != nil {
+			t.Errorf("%s not 2-bounded: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestTaskSchemaCap(t *testing.T) {
+	schema := &sched.TaskSchema{Tasks: coinTasks(), MaxCount: 3}
+	if _, err := schema.Enumerate(testaut.Coin("c", 0.5), 3); err == nil {
+		t.Error("expected cap error")
+	}
+}
+
+func TestTaskScheduleIsObliviousWrtTaskView(t *testing.T) {
+	// A task schedule's decisions depend on the state only through the
+	// enabled subsets of its tasks — it factors through that view.
+	c := testaut.Coin("c", 0.5)
+	tasks := coinTasks()
+	s := &sched.TaskSchedule{A: c, Tasks: tasks}
+	view := func(f *psioa.Frag) string {
+		key := ""
+		for j := 0; j <= f.Len(); j++ {
+			sig := c.Sig(f.StateAt(j))
+			for _, tk := range tasks {
+				for _, a := range tk.Actions.Sorted() {
+					if sig.Has(a) {
+						key += string(a) + ";"
+					}
+				}
+			}
+			key += "|"
+		}
+		return key
+	}
+	if err := sched.FactorsThrough(c, s, view, 10); err != nil {
+		t.Errorf("task schedule should factor through the enabledness view: %v", err)
+	}
+}
