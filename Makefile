@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet bench check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/obs/... ./internal/sched/... ./internal/psioa/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# check is the tier-1 gate plus static analysis and the race-sensitive
+# packages; run before every commit.
+check: build vet test race
+
+clean:
+	$(GO) clean ./...
+	rm -f *.test cpu.prof mem.prof trace.jsonl metrics.json

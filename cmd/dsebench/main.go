@@ -1,55 +1,59 @@
-// dsebench runs the reproduction experiment suite E1–E10 (see DESIGN.md and
+// dsebench runs the reproduction experiment suite E1–E17 (see DESIGN.md and
 // EXPERIMENTS.md): each experiment validates one lemma or theorem of the
 // paper on calibrated instances and prints a table of measured quantities.
 //
 // Usage:
 //
-//	dsebench            # run everything
-//	dsebench -only E4   # run one experiment
+//	dsebench                       # run everything
+//	dsebench -only E4              # run one experiment
+//	dsebench -json BENCH.json      # also emit one JSON object per benchmark
+//	dsebench -trace out.jsonl -metrics   # observability (see docs/OBSERVABILITY.md)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
-func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E10)")
-	flag.Parse()
+var ocli obs.CLI
 
-	runs := map[string]func() (*experiments.Table, error){
-		"E1":  experiments.E1CompositionBound,
-		"E2":  experiments.E2PCACompositionBound,
-		"E3":  experiments.E3HidingBound,
-		"E4":  experiments.E4Transitivity,
-		"E5":  experiments.E5Composability,
-		"E6":  experiments.E6FamilyNegPt,
-		"E7":  experiments.E7DummyInsertion,
-		"E8":  experiments.E8SecureEmulation,
-		"E9":  experiments.E9DynamicCreation,
-		"E10": experiments.E10Scaling,
-		"E11": experiments.E11DynamicEmulation,
-		"E12": experiments.E12Commitment,
-		"E13": experiments.E13CreationMonotonicity,
-		"E14": experiments.E14CoinFlipping,
-		"E15": experiments.E15FamilyEmulation,
-		"E16": experiments.E16SchedulingRole,
-		"E17": experiments.E17SamplingConvergence,
+func main() {
+	only := flag.String("only", "", "run a single experiment (E1..E17)")
+	jsonOut := flag.String("json", "", "write machine-readable results (one JSON object per benchmark) to `file` (\"-\" for stdout)")
+	ocli.Register(flag.CommandLine)
+	flag.Parse()
+	if err := ocli.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "dsebench:", err)
+		exit(2)
 	}
+
+	_, runs := experiments.Runners()
 
 	if *only != "" {
 		run, ok := runs[strings.ToUpper(*only)]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "dsebench: unknown experiment %q\n", *only)
-			os.Exit(2)
+			exit(2)
 		}
-		emit(run)
-		return
+		t, err := run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsebench:", err)
+			exit(1)
+		}
+		fmt.Println(t)
+		emitJSON(*jsonOut, []*experiments.Table{t})
+		if !t.Pass() {
+			exit(1)
+		}
+		exit(0)
 	}
 
 	start := time.Now()
@@ -57,27 +61,49 @@ func main() {
 	for _, t := range tables {
 		fmt.Println(t)
 	}
+	emitJSON(*jsonOut, tables)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsebench:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Printf("all experiments completed in %s\n", time.Since(start).Round(time.Millisecond))
 	for _, t := range tables {
-		if strings.HasPrefix(t.Verdict, "FAIL") {
+		if !t.Pass() {
 			fmt.Fprintf(os.Stderr, "dsebench: %s failed\n", t.ID)
-			os.Exit(1)
+			exit(1)
+		}
+	}
+	exit(0)
+}
+
+// emitJSON writes one JSON object per benchmark table, for tracking the
+// perf trajectory across revisions (BENCH_*.json files).
+func emitJSON(path string, tables []*experiments.Table) {
+	if path == "" {
+		return
+	}
+	var out io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsebench:", err)
+			exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	for _, t := range tables {
+		if err := enc.Encode(t.Result()); err != nil {
+			fmt.Fprintln(os.Stderr, "dsebench:", err)
+			exit(1)
 		}
 	}
 }
 
-func emit(run func() (*experiments.Table, error)) {
-	t, err := run()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dsebench:", err)
-		os.Exit(1)
-	}
-	fmt.Println(t)
-	if strings.HasPrefix(t.Verdict, "FAIL") {
-		os.Exit(1)
-	}
+// exit routes every termination through the observability teardown so the
+// trace is flushed and the metrics snapshot emitted even on failure.
+func exit(code int) {
+	ocli.Stop()
+	os.Exit(code)
 }

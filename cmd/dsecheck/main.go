@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/insight"
+	"repro/internal/obs"
 	"repro/internal/psioa"
 	"repro/internal/sched"
 	"repro/internal/spec"
@@ -29,6 +30,8 @@ type multiFlag []string
 
 func (m *multiFlag) String() string     { return strings.Join(*m, ";") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+var ocli obs.CLI
 
 func main() {
 	left := flag.String("left", "", "left (implementing) system reference")
@@ -41,11 +44,13 @@ func main() {
 	q1 := flag.Int("q1", 3, "left scheduler bound")
 	q2 := flag.Int("q2", 0, "right scheduler bound (default q1)")
 	verbose := flag.Bool("v", false, "print every (environment, scheduler) pair")
+	ocli.Register(flag.CommandLine)
 	flag.Parse()
+	fatal(ocli.Start())
 
 	if *left == "" || *right == "" || len(envs) == 0 {
 		fmt.Fprintln(os.Stderr, "dsecheck: need -left, -right and at least one -env")
-		os.Exit(2)
+		exit(2)
 	}
 	a, err := spec.Resolve(*left)
 	fatal(err)
@@ -67,7 +72,7 @@ func main() {
 	case "priority":
 		if len(tmpls) == 0 {
 			fmt.Fprintln(os.Stderr, "dsecheck: priority schema needs at least one -tmpl")
-			os.Exit(2)
+			exit(2)
 		}
 		var templates [][]string
 		for _, t := range tmpls {
@@ -76,7 +81,7 @@ func main() {
 		schema = &sched.PrefixPrioritySchema{Templates: templates}
 	default:
 		fmt.Fprintf(os.Stderr, "dsecheck: unknown schema %q\n", *schemaName)
-		os.Exit(2)
+		exit(2)
 	}
 
 	rep, err := core.Implements(a, b, core.Options{
@@ -105,13 +110,21 @@ func main() {
 		}
 	}
 	if !rep.Holds {
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
+}
+
+// exit routes every termination through the observability teardown so the
+// trace is flushed and the metrics snapshot emitted even on failure.
+func exit(code int) {
+	ocli.Stop()
+	os.Exit(code)
 }
 
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsecheck:", err)
-		os.Exit(1)
+		exit(1)
 	}
 }

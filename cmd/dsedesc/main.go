@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/bounded"
+	"repro/internal/obs"
 	"repro/internal/pca"
 	"repro/internal/psioa"
 	"repro/internal/spec"
@@ -29,15 +30,19 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
+var ocli obs.CLI
+
 func main() {
 	var systems multiFlag
 	flag.Var(&systems, "sys", "system reference (repeatable)")
 	limit := flag.Int("limit", 100000, "reachability exploration limit")
+	ocli.Register(flag.CommandLine)
 	flag.Parse()
+	fatal(ocli.Start())
 
 	if len(systems) == 0 {
 		fmt.Fprintln(os.Stderr, "dsedesc: need at least one -sys")
-		os.Exit(2)
+		exit(2)
 	}
 	auts := make([]psioa.PSIOA, 0, len(systems))
 	for _, ref := range systems {
@@ -51,6 +56,14 @@ func main() {
 		fatal(err)
 		fmt.Printf("composition bound (Lemma 4.3): %s\n", r)
 	}
+	exit(0)
+}
+
+// exit routes every termination through the observability teardown so the
+// trace is flushed and the metrics snapshot emitted even on failure.
+func exit(code int) {
+	ocli.Stop()
+	os.Exit(code)
 }
 
 func describe(ref string, a psioa.PSIOA, limit int) {
@@ -80,6 +93,6 @@ func trunc(t bool) string {
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsedesc:", err)
-		os.Exit(1)
+		exit(1)
 	}
 }

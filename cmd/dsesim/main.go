@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/insight"
+	"repro/internal/obs"
 	"repro/internal/psioa"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -32,6 +33,8 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
+var ocli obs.CLI
+
 func main() {
 	var systems multiFlag
 	flag.Var(&systems, "sys", "system reference (repeatable; composed in order)")
@@ -42,11 +45,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed for sampling")
 	insightName := flag.String("insight", "trace", "insight: trace | accept:<action> | print:<prefix>")
 	maxShow := flag.Int("show", 20, "max entries to print")
+	ocli.Register(flag.CommandLine)
 	flag.Parse()
+	fatal(ocli.Start())
 
 	if len(systems) == 0 {
 		fmt.Fprintln(os.Stderr, "dsesim: need at least one -sys")
-		os.Exit(2)
+		exit(2)
 	}
 	var auts []psioa.PSIOA
 	for _, ref := range systems {
@@ -69,7 +74,7 @@ func main() {
 		fatal(err)
 		fmt.Printf("sampled %s distribution over %d runs (%d outcomes):\n", f.ID, *samples, d.Len())
 		printDist(dMap(d.Support(), d.P), *maxShow)
-		return
+		exit(0)
 	}
 
 	em, err := sched.Measure(w, s, 4**bound+16)
@@ -79,6 +84,14 @@ func main() {
 	img := em.Image(func(fr *psioa.Frag) string { return f.Apply(w, fr) })
 	fmt.Printf("%s distribution (%d outcomes):\n", f.ID, img.Len())
 	printDist(dMap(img.Support(), img.P), *maxShow)
+	exit(0)
+}
+
+// exit routes every termination through the observability teardown so the
+// trace is flushed and the metrics snapshot emitted even on failure.
+func exit(code int) {
+	ocli.Stop()
+	os.Exit(code)
 }
 
 func buildSched(w psioa.PSIOA, name, order string, bound int) sched.Scheduler {
@@ -105,7 +118,7 @@ func buildSched(w psioa.PSIOA, name, order string, bound int) sched.Scheduler {
 		return &sched.Sequence{A: w, Acts: acts, LocalOnly: true}
 	default:
 		fmt.Fprintf(os.Stderr, "dsesim: unknown scheduler %q\n", name)
-		os.Exit(2)
+		exit(2)
 		return nil
 	}
 }
@@ -120,7 +133,7 @@ func buildInsight(name string) insight.Insight {
 		return insight.Print(strings.TrimPrefix(name, "print:"))
 	default:
 		fmt.Fprintf(os.Stderr, "dsesim: unknown insight %q\n", name)
-		os.Exit(2)
+		exit(2)
 		return insight.Insight{}
 	}
 }
@@ -161,6 +174,6 @@ func printDist(entries []entry, maxShow int) {
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsesim:", err)
-		os.Exit(1)
+		exit(1)
 	}
 }

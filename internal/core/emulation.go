@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/bounded"
+	"repro/internal/obs"
 	"repro/internal/psioa"
 	"repro/internal/structured"
 )
@@ -63,6 +64,10 @@ func HideAAct(s structured.SPSIOA, other psioa.PSIOA, limit int) (psioa.PSIOA, e
 // hide(ideal‖Sim, AAct_ideal) must hold. limit bounds the reachability
 // analyses.
 func SecureEmulates(real, ideal structured.SPSIOA, cases []AdvSim, opt Options, limit int) (*EmulationReport, error) {
+	sp := obs.Begin("core.emulation", real.ID()+" ~> "+ideal.ID())
+	defer sp.End()
+	defer obs.Time("core.emulation.us")()
+	tr := obs.Active()
 	out := &EmulationReport{Holds: true, PerAdv: make(map[string]*Report, len(cases))}
 	for _, cs := range cases {
 		if err := adversary.IsAdversaryFor(cs.Adv, real, limit); err != nil {
@@ -91,6 +96,14 @@ func SecureEmulates(real, ideal structured.SPSIOA, cases []AdvSim, opt Options, 
 		out.PerAdv[cs.Adv.ID()] = rep
 		if !rep.Holds {
 			out.Holds = false
+		}
+		cEmuRounds.Inc()
+		if tr.Enabled() {
+			status := "ok"
+			if !rep.Holds {
+				status = "fail"
+			}
+			tr.Emit(obs.Event{Kind: obs.KindEmuRound, Name: cs.Adv.ID(), Attr: status, V: rep.MaxDist, N: int64(len(rep.Pairs))})
 		}
 	}
 	return out, nil
@@ -174,12 +187,12 @@ func SecureEmulatesFamily(real, ideal SFamily, cases []AdvSimFamily, optFor func
 // executable ≤_{neg,pt} conclusion of Def 4.26.
 func NegPtEmulation(rep *FamilyEmulationReport, negl bounded.Fn, kmin, kmax int) error {
 	if !rep.Holds {
-		return fmt.Errorf("core: family emulation does not hold")
+		return fmt.Errorf("core: family emulation: %w", ErrDoesNotHold)
 	}
 	f := rep.MaxDistFn()
 	for k := kmin; k <= kmax; k++ {
 		if f(k) > negl(k)+1e-12 {
-			return fmt.Errorf("core: index %d: distance %v exceeds negligible bound %v", k, f(k), negl(k))
+			return fmt.Errorf("core: index %d: distance %v exceeds negligible bound %v: %w", k, f(k), negl(k), ErrExceedsNegligible)
 		}
 	}
 	return nil

@@ -1,0 +1,15 @@
+package core
+
+import "errors"
+
+// Sentinel errors for relation-check outcomes, wrapped with %w so callers
+// can distinguish "the relation measurably fails" from infrastructure
+// errors (bad automata, scheduler faults) with errors.Is.
+var (
+	// ErrDoesNotHold reports a family relation or emulation whose
+	// per-index checks found an unmatched scheduler.
+	ErrDoesNotHold = errors.New("relation does not hold")
+	// ErrExceedsNegligible reports a measured distance above the claimed
+	// negligible bound at some index.
+	ErrExceedsNegligible = errors.New("distance exceeds negligible bound")
+)

@@ -81,7 +81,7 @@ func FamilyImplementsWitness(fa, fb bounded.Family, w func(k int) Witness, fopt 
 // MaxDist(k) ≤ negl(k) for all k in range.
 func NegPt(rep *FamilyReport, negl bounded.Fn, kmin, kmax int) error {
 	if !rep.Holds {
-		return fmt.Errorf("core: family relation does not hold")
+		return fmt.Errorf("core: family relation: %w", ErrDoesNotHold)
 	}
 	for k := kmin; k <= kmax; k++ {
 		r, ok := rep.PerK[k]
@@ -89,7 +89,7 @@ func NegPt(rep *FamilyReport, negl bounded.Fn, kmin, kmax int) error {
 			continue
 		}
 		if r.MaxDist > negl(k)+1e-12 {
-			return fmt.Errorf("core: index %d: distance %v exceeds negligible bound %v", k, r.MaxDist, negl(k))
+			return fmt.Errorf("core: index %d: distance %v exceeds negligible bound %v: %w", k, r.MaxDist, negl(k), ErrExceedsNegligible)
 		}
 	}
 	return nil

@@ -22,9 +22,27 @@ import (
 
 	"repro/internal/insight"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/psioa"
 	"repro/internal/sched"
 )
+
+// Observability instruments for the implementation-relation checks — the
+// outermost loops of every emulation workload.
+var (
+	cImplCalls = obs.C("core.implements.calls")
+	cImplPairs = obs.C("core.implements.pairs")
+	cEmuRounds = obs.C("core.emulation.rounds")
+)
+
+// emitPair records one decided (environment, scheduler) pair.
+func emitPair(tr obs.Tracer, env, sched string, dist float64, ok bool) {
+	status := "ok"
+	if !ok {
+		status = "fail"
+	}
+	tr.Emit(obs.Event{Kind: obs.KindPair, Name: sched, Attr: env + ":" + status, V: dist})
+}
 
 // Options configures an implementation-relation check.
 type Options struct {
@@ -108,6 +126,11 @@ func (r *Report) String() string {
 // balanced within ε (Def 4.12). Environments must be partially compatible
 // with both A and B.
 func Implements(a, b psioa.PSIOA, opt Options) (*Report, error) {
+	sp := obs.Begin("core.implements", a.ID()+" <= "+b.ID())
+	defer sp.End()
+	defer obs.Time("core.implements.us")()
+	cImplCalls.Inc()
+	tr := obs.Active()
 	rep := &Report{Holds: true}
 	for _, env := range opt.Envs {
 		wa, err := psioa.Compose(env, a)
@@ -160,6 +183,10 @@ func Implements(a, b psioa.PSIOA, opt Options) (*Report, error) {
 			} else {
 				rep.Holds = false
 			}
+			cImplPairs.Inc()
+			if tr.Enabled() {
+				emitPair(tr, pr.Env, pr.Sched, pr.Dist, pr.OK)
+			}
 			if best > rep.MaxDist && !math.IsInf(best, 1) {
 				rep.MaxDist = best
 			}
@@ -193,6 +220,11 @@ func IdentityWitness() Witness {
 // witness: for every environment and every schema scheduler σ on E‖A, it
 // verifies σ S^{≤ε}_{E,f} w(σ).
 func ImplementsWitness(a, b psioa.PSIOA, w Witness, opt Options) (*Report, error) {
+	sp := obs.Begin("core.implements.witness", a.ID()+" <= "+b.ID())
+	defer sp.End()
+	defer obs.Time("core.implements.us")()
+	cImplCalls.Inc()
+	tr := obs.Active()
 	rep := &Report{Holds: true}
 	for _, env := range opt.Envs {
 		wa, err := psioa.Compose(env, a)
@@ -216,6 +248,10 @@ func ImplementsWitness(a, b psioa.PSIOA, w Witness, opt Options) (*Report, error
 			pr := PairResult{Env: env.ID(), Sched: s1.Name(), Matched: s2.Name(), Dist: dist, OK: ok}
 			if !ok {
 				rep.Holds = false
+			}
+			cImplPairs.Inc()
+			if tr.Enabled() {
+				emitPair(tr, pr.Env, pr.Sched, pr.Dist, pr.OK)
 			}
 			if dist > rep.MaxDist {
 				rep.MaxDist = dist

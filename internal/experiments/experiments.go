@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/insight"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/pca"
 	"repro/internal/protocols/channel"
 	"repro/internal/protocols/coin"
@@ -33,15 +34,68 @@ import (
 // Table is one experiment's output.
 type Table struct {
 	// ID is the experiment identifier (E1..E10).
-	ID string
+	ID string `json:"id"`
 	// Title states the claim under test with its paper reference.
-	Title string
+	Title string `json:"title"`
 	// Header names the columns.
-	Header []string
+	Header []string `json:"header"`
 	// Rows are the measurements.
-	Rows [][]string
+	Rows [][]string `json:"rows"`
 	// Verdict summarises whether the paper's claim held.
-	Verdict string
+	Verdict string `json:"verdict"`
+	// Elapsed is the wall-clock runtime, filled in by Instrumented.
+	Elapsed time.Duration `json:"-"`
+}
+
+// Pass reports whether the verdict is a PASS.
+func (t *Table) Pass() bool { return !strings.HasPrefix(t.Verdict, "FAIL") }
+
+// Result is the machine-readable form of a table, one JSON object per
+// benchmark, emitted by dsebench -json so the perf trajectory can be
+// tracked across revisions.
+type Result struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Verdict   string     `json:"verdict"`
+	Pass      bool       `json:"pass"`
+	ElapsedUS int64      `json:"elapsed_us"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+}
+
+// Result converts the table.
+func (t *Table) Result() Result {
+	return Result{
+		ID:        t.ID,
+		Title:     t.Title,
+		Verdict:   t.Verdict,
+		Pass:      t.Pass(),
+		ElapsedUS: t.Elapsed.Microseconds(),
+		Header:    t.Header,
+		Rows:      t.Rows,
+	}
+}
+
+// Instrumented wraps an experiment runner with observability: a trace
+// span, a per-experiment wall-time histogram in the default metrics
+// registry, the table's Elapsed field, and a trace event carrying the
+// verdict.
+func Instrumented(id string, run func() (*Table, error)) func() (*Table, error) {
+	return func() (*Table, error) {
+		sp := obs.Begin("experiment", id)
+		defer sp.End()
+		defer obs.Time("experiment."+id+".us")()
+		start := time.Now()
+		t, err := run()
+		if err != nil || t == nil {
+			return t, err
+		}
+		t.Elapsed = time.Since(start)
+		if tr := obs.Active(); tr.Enabled() {
+			tr.Emit(obs.Event{Kind: obs.KindExperiment, Name: id, Attr: t.Verdict, Dur: t.Elapsed.Microseconds()})
+		}
+		return t, nil
+	}
 }
 
 // String renders the table in aligned plain text.
@@ -935,18 +989,35 @@ func sqrt(v float64) float64 {
 	return x
 }
 
+// Runners returns every experiment keyed by id, each wrapped with
+// Instrumented, in suite order.
+func Runners() (ids []string, byID map[string]func() (*Table, error)) {
+	type entry struct {
+		id  string
+		run func() (*Table, error)
+	}
+	entries := []entry{
+		{"E1", E1CompositionBound}, {"E2", E2PCACompositionBound}, {"E3", E3HidingBound},
+		{"E4", E4Transitivity}, {"E5", E5Composability}, {"E6", E6FamilyNegPt},
+		{"E7", E7DummyInsertion}, {"E8", E8SecureEmulation}, {"E9", E9DynamicCreation},
+		{"E10", E10Scaling}, {"E11", E11DynamicEmulation}, {"E12", E12Commitment},
+		{"E13", E13CreationMonotonicity}, {"E14", E14CoinFlipping}, {"E15", E15FamilyEmulation},
+		{"E16", E16SchedulingRole}, {"E17", E17SamplingConvergence},
+	}
+	byID = make(map[string]func() (*Table, error), len(entries))
+	for _, e := range entries {
+		ids = append(ids, e.id)
+		byID[e.id] = Instrumented(e.id, e.run)
+	}
+	return ids, byID
+}
+
 // All runs every experiment in order.
 func All() ([]*Table, error) {
-	runs := []func() (*Table, error){
-		E1CompositionBound, E2PCACompositionBound, E3HidingBound,
-		E4Transitivity, E5Composability, E6FamilyNegPt,
-		E7DummyInsertion, E8SecureEmulation, E9DynamicCreation, E10Scaling,
-		E11DynamicEmulation, E12Commitment, E13CreationMonotonicity,
-		E14CoinFlipping, E15FamilyEmulation, E16SchedulingRole, E17SamplingConvergence,
-	}
-	out := make([]*Table, 0, len(runs))
-	for _, run := range runs {
-		tbl, err := run()
+	ids, byID := Runners()
+	out := make([]*Table, 0, len(ids))
+	for _, id := range ids {
+		tbl, err := byID[id]()
 		if err != nil {
 			return out, err
 		}

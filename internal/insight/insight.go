@@ -21,8 +21,18 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/psioa"
 	"repro/internal/sched"
+)
+
+// Observability instruments: every FDist call applies the insight probe to
+// each execution in the measure's support, so evals counts probe
+// applications across the run.
+var (
+	cProbeCalls = obs.C("insight.probe.calls")
+	cProbeEvals = obs.C("insight.probe.evals")
+	cDistances  = obs.C("insight.distance.calls")
 )
 
 // Insight is an insight function: a measurable map from executions of the
@@ -108,16 +118,24 @@ func Restrict(set psioa.ActionSet) Insight {
 // under the insight function, where w is the composed system E‖A and σ a
 // scheduler of w. maxDepth guards the exact expansion.
 func FDist(w psioa.PSIOA, s sched.Scheduler, f Insight, maxDepth int) (*measure.Dist[string], error) {
+	defer obs.Time("insight.fdist.us")()
 	em, err := sched.Measure(w, s, maxDepth)
 	if err != nil {
 		return nil, err
 	}
-	return em.Image(func(fr *psioa.Frag) string { return f.Apply(w, fr) }), nil
+	cProbeCalls.Inc()
+	cProbeEvals.Add(int64(em.Len()))
+	img := em.Image(func(fr *psioa.Frag) string { return f.Apply(w, fr) })
+	if tr := obs.Active(); tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.KindProbe, Name: f.ID, Attr: s.Name(), N: int64(img.Len())})
+	}
+	return img, nil
 }
 
 // Distance returns the Def 3.6 distance between two external perceptions:
 // sup over families I of |Σ_i (d2(ζ_i) − d1(ζ_i))|.
 func Distance(d1, d2 *measure.Dist[string]) float64 {
+	cDistances.Inc()
 	return measure.BalancedSup(d1, d2)
 }
 

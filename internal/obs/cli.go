@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CLI bundles the observability flags shared by every command-line tool:
+// execution tracing, a metrics snapshot at exit, a live pprof server, and
+// one-shot CPU/heap profiles. Typical use:
+//
+//	var ocli obs.CLI
+//	ocli.Register(flag.CommandLine)
+//	flag.Parse()
+//	if err := ocli.Start(); err != nil { ... }
+//	defer ocli.Stop()
+//
+// Stop is idempotent, so tools that exit through os.Exit can route every
+// exit path through a helper that calls Stop first.
+type CLI struct {
+	// Trace is the -trace flag: path of the JSONL trace to write.
+	Trace string
+	// Metrics is the -metrics flag: print a JSON snapshot of the Default
+	// registry to stderr at Stop.
+	Metrics bool
+	// MetricsOut is the -metrics-out flag: also write the snapshot to a
+	// file.
+	MetricsOut string
+	// Pprof is the -pprof flag: address for a live net/http/pprof server,
+	// e.g. "localhost:6060".
+	Pprof string
+	// CPUProfile and MemProfile are the -cpuprofile/-memprofile flags:
+	// paths for one-shot pprof files covering the run.
+	CPUProfile string
+	// MemProfile is the heap profile path, written at Stop.
+	MemProfile string
+
+	traceFile *os.File
+	tracer    *JSONL
+	cpuFile   *os.File
+	stopped   bool
+}
+
+// Register installs the observability flags on fs.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Trace, "trace", "", "write a JSONL execution trace to `file`")
+	fs.BoolVar(&c.Metrics, "metrics", false, "print a JSON metrics snapshot to stderr at exit")
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write the JSON metrics snapshot to `file` at exit")
+	fs.StringVar(&c.Pprof, "pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to `file` at exit")
+}
+
+// Start activates whatever the flags requested: installs the JSONL tracer,
+// starts the CPU profile, and launches the pprof server.
+func (c *CLI) Start() error {
+	if c.Trace != "" {
+		f, err := os.Create(c.Trace)
+		if err != nil {
+			return fmt.Errorf("obs: create trace: %w", err)
+		}
+		c.traceFile = f
+		c.tracer = NewJSONL(f)
+		SetTracer(c.tracer)
+	}
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("obs: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("obs: start cpu profile: %w", err)
+		}
+		c.cpuFile = f
+	}
+	if c.Pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(c.Pprof, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: pprof server: %v\n", err)
+			}
+		}()
+	}
+	return nil
+}
+
+// Stop flushes the trace, writes the profiles and metrics snapshot, and
+// restores the no-op tracer. Safe to call multiple times; only the first
+// call acts.
+func (c *CLI) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	if c.tracer != nil {
+		SetTracer(nil)
+		if err := c.tracer.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: flush trace: %v\n", err)
+		}
+		if err := c.traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: close trace: %v\n", err)
+		}
+	}
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := c.cpuFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: close cpu profile: %v\n", err)
+		}
+	}
+	if c.MemProfile != "" {
+		if f, err := os.Create(c.MemProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: create mem profile: %v\n", err)
+		} else {
+			runtime.GC() // get up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: write mem profile: %v\n", err)
+			}
+			f.Close()
+		}
+	}
+	if c.Metrics || c.MetricsOut != "" {
+		snap := Default.Snapshot().JSON()
+		if c.Metrics {
+			fmt.Fprintf(os.Stderr, "%s\n", snap)
+		}
+		if c.MetricsOut != "" {
+			if err := os.WriteFile(c.MetricsOut, append(snap, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: write metrics: %v\n", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package obs_test
+
+// Integration: drive the instrumented pipeline (psioa.Explore and
+// sched.Measure) under a recording tracer and check that events flow and
+// the default-registry counters advance — the same plumbing the CLI tools'
+// -trace/-metrics flags expose.
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/testaut"
+)
+
+func TestPipelineEmitsEventsAndCounters(t *testing.T) {
+	rec := obs.NewRecorder()
+	prev := obs.SetTracer(rec)
+	defer obs.SetTracer(prev)
+
+	states0 := obs.C("psioa.explore.states").Value()
+	steps0 := obs.C("sched.measure.steps").Value()
+
+	coin := testaut.Coin("c", 0.5)
+	ex, err := psioa.Explore(coin, 1000)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	em, err := sched.Measure(coin, &sched.Greedy{A: coin, Bound: 4, LocalOnly: true}, 16)
+	if err != nil {
+		t.Fatalf("measure: %v", err)
+	}
+
+	if got := obs.C("psioa.explore.states").Value() - states0; got != int64(len(ex.States)) {
+		t.Errorf("explore.states counter advanced by %d, want %d", got, len(ex.States))
+	}
+	if got := obs.C("sched.measure.steps").Value() - steps0; got <= 0 {
+		t.Errorf("measure.steps counter did not advance (%d)", got)
+	}
+	if em.Len() == 0 {
+		t.Fatal("empty execution measure")
+	}
+
+	kinds := make(map[obs.Kind]int)
+	for _, e := range rec.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds[obs.KindStateFound] != len(ex.States) {
+		t.Errorf("recorded %d state events, want %d", kinds[obs.KindStateFound], len(ex.States))
+	}
+	for _, k := range []obs.Kind{obs.KindTransition, obs.KindSchedStep, obs.KindSchedHalt, obs.KindSpanBegin, obs.KindSpanEnd} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s events recorded", k)
+		}
+	}
+}

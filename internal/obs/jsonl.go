@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// JSONL is a Tracer that appends one JSON object per event to a writer.
+// Events are timestamped relative to the tracer's creation and written
+// under a mutex, so a single JSONL tracer may serve many goroutines.
+type JSONL struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	enc   *json.Encoder
+	start time.Time
+	err   error
+}
+
+// NewJSONL returns a tracer writing JSON Lines to w. Call Flush before
+// closing the underlying writer.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{w: bw, enc: json.NewEncoder(bw), start: time.Now()}
+}
+
+// Enabled implements Tracer.
+func (j *JSONL) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (j *JSONL) Emit(e Event) {
+	t := time.Since(j.start).Microseconds()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	e.T = t
+	j.err = j.enc.Encode(e)
+}
+
+// Flush drains buffered events and reports the first write error, if any.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// ReadTrace decodes a JSONL trace produced by a JSONL tracer.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return out, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+// Recorder is an in-memory Tracer for tests and summaries.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	start  time.Time
+}
+
+// NewRecorder returns an empty in-memory tracer.
+func NewRecorder() *Recorder { return &Recorder{start: time.Now()} }
+
+// Enabled implements Tracer.
+func (r *Recorder) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(e Event) {
+	t := time.Since(r.start).Microseconds()
+	r.mu.Lock()
+	e.T = t
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Summarize renders a compact text summary of a trace: per-kind event
+// counts and, for spans, per-name call counts with total and maximum
+// duration. It is the human counterpart of the raw JSONL file.
+func Summarize(events []Event) string {
+	kinds := make(map[Kind]int)
+	type spanAgg struct {
+		n        int
+		tot, max int64
+	}
+	spans := make(map[string]*spanAgg)
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.Kind == KindSpanEnd {
+			a := spans[e.Name]
+			if a == nil {
+				a = &spanAgg{}
+				spans[e.Name] = a
+			}
+			a.n++
+			a.tot += e.Dur
+			if e.Dur > a.max {
+				a.max = e.Dur
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events\n", len(events))
+	kindNames := make([]string, 0, len(kinds))
+	for k := range kinds {
+		kindNames = append(kindNames, string(k))
+	}
+	sort.Strings(kindNames)
+	for _, k := range kindNames {
+		fmt.Fprintf(&b, "  %-22s %d\n", k, kinds[Kind(k)])
+	}
+	if len(spans) > 0 {
+		b.WriteString("spans:\n")
+		spanNames := make([]string, 0, len(spans))
+		for n := range spans {
+			spanNames = append(spanNames, n)
+		}
+		sort.Strings(spanNames)
+		for _, n := range spanNames {
+			a := spans[n]
+			fmt.Fprintf(&b, "  %-28s n=%-6d total=%s max=%s\n",
+				n, a.n, usDur(a.tot), usDur(a.max))
+		}
+	}
+	return b.String()
+}
+
+func usDur(us int64) string {
+	return (time.Duration(us) * time.Microsecond).Round(time.Microsecond).String()
+}

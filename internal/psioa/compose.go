@@ -7,6 +7,14 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/measure"
+	"repro/internal/obs"
+)
+
+// cComposeCalls counts compositions built; together with component counts
+// it shows how much of a workload is product construction.
+var (
+	cComposeCalls      = obs.C("psioa.compose.calls")
+	cComposeComponents = obs.C("psioa.compose.components")
 )
 
 // Product is the partial composition A₁‖...‖Aₙ of Def 2.18. Its states are
@@ -54,6 +62,8 @@ func Compose(auts ...PSIOA) (*Product, error) {
 		seen[c.ID()] = true
 		ids[i] = c.ID()
 	}
+	cComposeCalls.Inc()
+	cComposeComponents.Add(int64(len(comps)))
 	return &Product{
 		id:         strings.Join(ids, "||"),
 		comps:      comps,

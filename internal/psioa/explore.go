@@ -3,6 +3,18 @@ package psioa
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
+)
+
+// Observability instruments for the exploration hot path. Counters are
+// batched per Explore call; per-state and per-transition trace events fire
+// only when a tracer is installed.
+var (
+	cExploreCalls  = obs.C("psioa.explore.calls")
+	cExploreStates = obs.C("psioa.explore.states")
+	cExploreTrans  = obs.C("psioa.explore.transitions")
+	cExploreTrunc  = obs.C("psioa.explore.truncated")
 )
 
 // Exploration is the result of a bounded breadth-first reachability
@@ -26,6 +38,12 @@ type Exploration struct {
 // result covers the first limit states. Component incompatibility (for
 // composite automata) is reported as an error.
 func Explore(a PSIOA, limit int) (*Exploration, error) {
+	sp := obs.Begin("psioa.explore", a.ID())
+	defer sp.End()
+	defer obs.Time("psioa.explore.us")()
+	tr := obs.Active()
+	traced := tr.Enabled()
+	var nTrans int64
 	ex := &Exploration{Sigs: make(map[State]Signature), Acts: NewActionSet()}
 	start := a.Start()
 	queue := []State{start}
@@ -41,10 +59,17 @@ func Explore(a PSIOA, limit int) (*Exploration, error) {
 		sig := a.Sig(q)
 		ex.States = append(ex.States, q)
 		ex.Sigs[q] = sig
+		if traced {
+			tr.Emit(obs.Event{Kind: obs.KindStateFound, Name: a.ID(), Attr: string(q), N: int64(len(ex.States))})
+		}
 		// Deterministic discovery order: sorted actions, sorted successors.
 		// This makes truncated explorations reproducible run to run.
 		for _, act := range sig.All().Sorted() {
 			ex.Acts.Add(act)
+			nTrans++
+			if traced {
+				tr.Emit(obs.Event{Kind: obs.KindTransition, Name: a.ID(), Attr: string(act)})
+			}
 			succs := a.Trans(q, act).Support()
 			sort.Slice(succs, func(i, j int) bool { return succs[i] < succs[j] })
 			for _, q2 := range succs {
@@ -58,6 +83,12 @@ func Explore(a PSIOA, limit int) (*Exploration, error) {
 				}
 			}
 		}
+	}
+	cExploreCalls.Inc()
+	cExploreStates.Add(int64(len(ex.States)))
+	cExploreTrans.Add(nTrans)
+	if ex.Truncated {
+		cExploreTrunc.Inc()
 	}
 	return ex, nil
 }

@@ -1,0 +1,55 @@
+package sched_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/measure"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/testaut"
+)
+
+// TestMeasureErrorClassification verifies the %w-wrapped sentinels: every
+// Measure failure mode is classifiable with errors.Is.
+func TestMeasureErrorClassification(t *testing.T) {
+	pp1, pp2 := testaut.PingPong(8)
+	w := psioa.MustCompose(pp1, pp2)
+
+	// A scheduler that never halts exhausts any depth bound.
+	_, err := sched.Measure(w, &sched.Greedy{A: w, Bound: 1 << 20, LocalOnly: true}, 4)
+	if !errors.Is(err, sched.ErrDepthExceeded) {
+		t.Errorf("unbounded scheduler: err = %v, want ErrDepthExceeded", err)
+	}
+
+	// A scheduler assigning mass to an action that is not enabled.
+	bogus := &sched.FuncSched{ID: "bogus", Fn: func(alpha *psioa.Frag) *sched.Choice {
+		return measure.Dirac(psioa.Action("no-such-action"))
+	}}
+	_, err = sched.Measure(w, bogus, 4)
+	if !errors.Is(err, sched.ErrDisabledAction) {
+		t.Errorf("disabled action: err = %v, want ErrDisabledAction", err)
+	}
+
+	// A scheduler whose choice is not a sub-probability distribution.
+	heavy := &sched.FuncSched{ID: "heavy", Fn: func(alpha *psioa.Frag) *sched.Choice {
+		d := measure.New[psioa.Action]()
+		d.Add("ping", 0.8)
+		d.Add("pong", 0.8)
+		return d
+	}}
+	_, err = sched.Measure(w, heavy, 4)
+	if !errors.Is(err, sched.ErrOverMass) {
+		t.Errorf("over mass: err = %v, want ErrOverMass", err)
+	}
+}
+
+// TestEnumerationCapClassification verifies the schema-cap sentinel.
+func TestEnumerationCapClassification(t *testing.T) {
+	pp1, pp2 := testaut.PingPong(4)
+	w := psioa.MustCompose(pp1, pp2)
+	_, err := (&sched.ObliviousSchema{MaxCount: 8}).Enumerate(w, 12)
+	if !errors.Is(err, sched.ErrEnumerationCap) {
+		t.Errorf("enumeration cap: err = %v, want ErrEnumerationCap", err)
+	}
+}

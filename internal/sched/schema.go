@@ -65,7 +65,7 @@ func (o *ObliviousSchema) Enumerate(a psioa.PSIOA, bound int) ([]Scheduler, erro
 	for l := 0; l <= bound; l++ {
 		total += pow
 		if total > maxCount {
-			return nil, fmt.Errorf("sched: oblivious enumeration over %d actions up to length %d exceeds cap %d", len(alpha), bound, maxCount)
+			return nil, fmt.Errorf("sched: oblivious enumeration over %d actions up to length %d exceeds cap %d: %w", len(alpha), bound, maxCount, ErrEnumerationCap)
 		}
 		pow *= len(alpha)
 		if len(alpha) == 0 {

@@ -120,7 +120,7 @@ func CheckTaskDeterminism(a psioa.PSIOA, tasks []Task, limit int) error {
 				}
 			}
 			if count > 1 {
-				return fmt.Errorf("sched: task %q enables %d actions at state %q (next-transition determinism violated)", tk.Name, count, q)
+				return fmt.Errorf("sched: task %q enables %d actions at state %q: %w", tk.Name, count, q, ErrTaskNondeterministic)
 			}
 		}
 	}
@@ -150,7 +150,7 @@ func (t *TaskSchema) Enumerate(a psioa.PSIOA, bound int) ([]Scheduler, error) {
 	for l := 0; l <= bound; l++ {
 		total += pow
 		if total > maxCount {
-			return nil, fmt.Errorf("sched: task enumeration over %d tasks up to length %d exceeds cap %d", len(t.Tasks), bound, maxCount)
+			return nil, fmt.Errorf("sched: task enumeration over %d tasks up to length %d exceeds cap %d: %w", len(t.Tasks), bound, maxCount, ErrEnumerationCap)
 		}
 		pow *= len(t.Tasks)
 		if len(t.Tasks) == 0 {
