@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check clean
+.PHONY: build test race vet bench daemon-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/sched/... ./internal/psioa/...
+	$(GO) test -race ./internal/obs/... ./internal/sched/... ./internal/psioa/... ./internal/engine/... ./cmd/dsed/...
 
 vet:
 	$(GO) vet ./...
@@ -17,9 +17,14 @@ vet:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-# check is the tier-1 gate plus static analysis and the race-sensitive
-# packages; run before every commit.
-check: build vet test race
+# daemon-smoke starts dsed on a scratch port and runs a check through the
+# HTTP API twice, asserting the second run hits the memoization cache.
+daemon-smoke:
+	sh scripts/daemon_smoke.sh
+
+# check is the tier-1 gate plus static analysis, the race-sensitive
+# packages, and the daemon end-to-end smoke; run before every commit.
+check: build vet test race daemon-smoke
 
 clean:
 	$(GO) clean ./...

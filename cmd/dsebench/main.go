@@ -1,4 +1,4 @@
-// dsebench runs the reproduction experiment suite E1–E17 (see DESIGN.md and
+// dsebench runs the reproduction experiment suite E1–E18 (see DESIGN.md and
 // EXPERIMENTS.md): each experiment validates one lemma or theorem of the
 // paper on calibrated instances and prints a table of measured quantities.
 //
@@ -6,11 +6,13 @@
 //
 //	dsebench                       # run everything
 //	dsebench -only E4              # run one experiment
+//	dsebench -workers 4            # fan experiments out on an engine pool
 //	dsebench -json BENCH.json      # also emit one JSON object per benchmark
 //	dsebench -trace out.jsonl -metrics   # observability (see docs/OBSERVABILITY.md)
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -26,7 +29,8 @@ import (
 var ocli obs.CLI
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E17)")
+	only := flag.String("only", "", "run a single experiment (E1..E18)")
+	workers := flag.Int("workers", 1, "experiment parallelism (engine pool size; 1 = sequential)")
 	jsonOut := flag.String("json", "", "write machine-readable results (one JSON object per benchmark) to `file` (\"-\" for stdout)")
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
@@ -57,7 +61,7 @@ func main() {
 	}
 
 	start := time.Now()
-	tables, err := experiments.All()
+	tables, err := experiments.AllParallel(context.Background(), engine.NewPool(*workers))
 	for _, t := range tables {
 		fmt.Println(t)
 	}

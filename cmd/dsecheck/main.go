@@ -1,6 +1,8 @@
 // dsecheck decides approximate implementation (Def 4.12) between two
 // systems: for every scheduler of the schema on env‖left it searches a
-// balanced scheduler on env‖right.
+// balanced scheduler on env‖right. The check runs on the engine's worker
+// pool with memoized measure expansions; -workers 1 -cache 0 reproduces the
+// plain sequential run (the report is byte-identical either way).
 //
 // Usage:
 //
@@ -9,21 +11,18 @@
 //	dsecheck -left chan:leaky:x:0.5 -right chan:ideal:x \
 //	         -env chan:env:x:0 -env chan:env:x:1 \
 //	         -schema priority -tmpl send,encrypt,tap,notify,fabricate,deliver \
-//	         -eps 0.25 -q1 8
+//	         -eps 0.25 -q1 8 -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/insight"
+	"repro/internal/engine"
 	"repro/internal/obs"
-	"repro/internal/psioa"
-	"repro/internal/sched"
-	"repro/internal/spec"
 )
 
 type multiFlag []string
@@ -43,6 +42,8 @@ func main() {
 	eps := flag.Float64("eps", 0, "tolerance ε")
 	q1 := flag.Int("q1", 3, "left scheduler bound")
 	q2 := flag.Int("q2", 0, "right scheduler bound (default q1)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "memoization cache entries (0 = default)")
 	verbose := flag.Bool("v", false, "print every (environment, scheduler) pair")
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
@@ -52,45 +53,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dsecheck: need -left, -right and at least one -env")
 		exit(2)
 	}
-	a, err := spec.Resolve(*left)
-	fatal(err)
-	b, err := spec.Resolve(*right)
-	fatal(err)
-	var envAuts []psioa.PSIOA
-	for _, ref := range envs {
-		e, err := spec.Resolve(ref)
-		fatal(err)
-		envAuts = append(envAuts, e)
+	var templates [][]string
+	for _, t := range tmpls {
+		templates = append(templates, strings.Split(t, ","))
 	}
-
-	var schema sched.Schema
-	switch *schemaName {
-	case "oblivious":
-		schema = &sched.ObliviousSchema{}
-	case "basic":
-		schema = sched.BasicSchema{}
-	case "priority":
-		if len(tmpls) == 0 {
-			fmt.Fprintln(os.Stderr, "dsecheck: priority schema needs at least one -tmpl")
-			exit(2)
-		}
-		var templates [][]string
-		for _, t := range tmpls {
-			templates = append(templates, strings.Split(t, ","))
-		}
-		schema = &sched.PrefixPrioritySchema{Templates: templates}
-	default:
+	if *schemaName == "priority" && len(templates) == 0 {
+		fmt.Fprintln(os.Stderr, "dsecheck: priority schema needs at least one -tmpl")
+		exit(2)
+	}
+	schema, err := engine.SchemaByName(*schemaName, templates)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsecheck: unknown schema %q\n", *schemaName)
 		exit(2)
 	}
 
-	rep, err := core.Implements(a, b, core.Options{
-		Envs:    envAuts,
-		Schema:  schema,
-		Insight: insight.Trace(),
-		Eps:     *eps,
-		Q1:      *q1,
-		Q2:      *q2,
+	r := engine.NewRunner(engine.NewPool(*workers), engine.NewCache(*cacheSize))
+	rep, err := r.Check(context.Background(), &engine.CheckSpec{
+		Left:      *left,
+		Right:     *right,
+		Envs:      envs,
+		Schema:    *schemaName,
+		Templates: templates,
+		Eps:       *eps,
+		Q1:        *q1,
+		Q2:        *q2,
 	})
 	fatal(err)
 

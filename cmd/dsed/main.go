@@ -1,0 +1,91 @@
+// dsed is the verification daemon: it serves the implementation checks,
+// simulations and resource-bound profiles of the framework over HTTP,
+// running every job on one shared worker pool with one shared memoization
+// cache — repeated checks of the same systems reuse each other's measure
+// expansions (watch engine.cache.hits in GET /v1/metrics).
+//
+// Usage:
+//
+//	dsed -addr :8080 -workers 8 -cache-size 4096
+//
+//	curl -X POST localhost:8080/v1/check -d '{
+//	  "left": "coin:biased:x:0.625", "right": "coin:fair:x",
+//	  "envs": ["coin:env:x"], "eps": 0.125, "q1": 3}'
+//
+// See docs/ENGINE.md for the full API walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+var ocli obs.CLI
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache-size", engine.DefaultCacheSize, "memoization cache entries")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-job timeout")
+	ocli.Register(flag.CommandLine)
+	flag.Parse()
+	fatal(ocli.Start())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &server{
+		runner:  engine.NewRunner(engine.NewPool(*workers), engine.NewCache(*cacheSize)),
+		store:   engine.NewStore(),
+		timeout: *timeout,
+		ctx:     ctx,
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "dsed: listening on %s (workers=%d, cache=%d)\n",
+			*addr, srv.runner.Pool.Workers(), *cacheSize)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting, drain in-flight requests.
+		fmt.Fprintln(os.Stderr, "dsed: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "dsed: shutdown:", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+	exit(0)
+}
+
+// exit routes every termination through the observability teardown so the
+// trace is flushed and the metrics snapshot emitted even on failure.
+func exit(code int) {
+	ocli.Stop()
+	os.Exit(code)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsed:", err)
+		exit(1)
+	}
+}

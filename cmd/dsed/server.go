@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// Observability instruments for the HTTP layer.
+var (
+	cHTTPRequests = obs.C("dsed.http.requests")
+	cHTTPErrors   = obs.C("dsed.http.errors")
+)
+
+// server wires the engine's runner and job store to the HTTP API.
+type server struct {
+	runner  *engine.Runner
+	store   *engine.Store
+	timeout time.Duration
+	// ctx is the daemon's serve context: async jobs detach from their
+	// request and run under it, so shutdown cancels them.
+	ctx context.Context
+}
+
+// handler builds the daemon's route table:
+//
+//	POST /v1/check      — run an implementation check (?async=1 to queue)
+//	POST /v1/simulate   — run a simulation (?async=1 to queue)
+//	POST /v1/describe   — profile systems (?async=1 to queue)
+//	GET  /v1/jobs       — list submitted jobs
+//	GET  /v1/jobs/{id}  — fetch one job record
+//	GET  /v1/metrics    — obs metrics snapshot (counters, gauges, histograms)
+//	GET  /healthz       — liveness probe
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/check", s.jobHandler(engine.KindCheck))
+	mux.HandleFunc("POST /v1/simulate", s.jobHandler(engine.KindSimulate))
+	mux.HandleFunc("POST /v1/describe", s.jobHandler(engine.KindDescribe))
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		cHTTPRequests.Inc()
+		writeJSON(w, http.StatusOK, s.store.List())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		cHTTPRequests.Inc()
+		rec, ok := s.store.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		cHTTPRequests.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(obs.Default.Snapshot().JSON())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// jobHandler decodes the kind-specific spec from the request body and either
+// runs it synchronously (the default: 200 with the result) or queues it
+// (?async=1: 202 with the job record, poll GET /v1/jobs/{id}).
+func (s *server) jobHandler(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		cHTTPRequests.Inc()
+		job := engine.Job{Kind: kind}
+		var spec any
+		switch kind {
+		case engine.KindCheck:
+			job.Check = &engine.CheckSpec{}
+			spec = job.Check
+		case engine.KindSimulate:
+			job.Simulate = &engine.SimulateSpec{}
+			spec = job.Simulate
+		case engine.KindDescribe:
+			job.Describe = &engine.DescribeSpec{}
+			spec = job.Describe
+		}
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad %s spec: %w", kind, err))
+			return
+		}
+		if job.TimeoutMS <= 0 {
+			job.TimeoutMS = s.timeout.Milliseconds()
+		}
+		if r.URL.Query().Get("async") == "1" {
+			// Detach from the request context: the job outlives the request
+			// and is bounded by the job timeout and the serve context.
+			rec := s.store.Submit(s.ctx, s.runner, job)
+			writeJSON(w, http.StatusAccepted, rec)
+			return
+		}
+		res, err := s.runner.Run(r.Context(), job)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	cHTTPErrors.Inc()
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -13,16 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"repro/internal/bounded"
+	"repro/internal/engine"
 	"repro/internal/obs"
-	"repro/internal/pca"
-	"repro/internal/psioa"
-	"repro/internal/spec"
 )
 
 type multiFlag []string
@@ -44,17 +42,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dsedesc: need at least one -sys")
 		exit(2)
 	}
-	auts := make([]psioa.PSIOA, 0, len(systems))
-	for _, ref := range systems {
-		a, err := spec.Resolve(ref)
-		fatal(err)
-		auts = append(auts, a)
-		describe(ref, a, *limit)
+	r := engine.NewRunner(nil, engine.NewCache(0))
+	res, err := r.DescribeSystems(context.Background(), &engine.DescribeSpec{
+		Systems: systems,
+		Limit:   *limit,
+	})
+	fatal(err)
+	for _, sd := range res.Systems {
+		fmt.Printf("%s\n  description: %s\n", sd.Ref, sd.Description)
+		fmt.Printf("  query work:  max %d bits/query, %d bits total over the reachable fragment\n",
+			sd.QueryMaxBits, sd.QueryTotalBits)
+		fmt.Printf("  reachable:   %d states, %d actions%s\n", sd.States, sd.Actions, trunc(sd.Truncated))
 	}
-	if len(auts) == 2 {
-		r, err := bounded.CompositionBound(auts[0], auts[1], *limit)
-		fatal(err)
-		fmt.Printf("composition bound (Lemma 4.3): %s\n", r)
+	if res.CompositionBound != "" {
+		fmt.Printf("composition bound (Lemma 4.3): %s\n", res.CompositionBound)
 	}
 	exit(0)
 }
@@ -64,23 +65,6 @@ func main() {
 func exit(code int) {
 	ocli.Stop()
 	os.Exit(code)
-}
-
-func describe(ref string, a psioa.PSIOA, limit int) {
-	// PCA get their Def 4.2 components measured through the adapter.
-	target := a
-	if x, ok := a.(pca.PCA); ok {
-		target = pca.DescAdapter{PCA: x}
-	}
-	d, err := bounded.Describe(target, limit)
-	fatal(err)
-	fmt.Printf("%s\n  description: %s\n", ref, d)
-	maxQ, total, err := bounded.QueryWork(a, limit)
-	fatal(err)
-	fmt.Printf("  query work:  max %d bits/query, %d bits total over the reachable fragment\n", maxQ, total)
-	ex, err := psioa.Explore(a, limit)
-	fatal(err)
-	fmt.Printf("  reachable:   %d states, %d actions%s\n", len(ex.States), len(ex.Acts), trunc(ex.Truncated))
 }
 
 func trunc(t bool) string {

@@ -1,6 +1,9 @@
 // dsesim simulates automata under schedulers: it composes the referenced
 // systems, resolves non-determinism with the chosen scheduler, and prints
-// either the exact execution measure or Monte-Carlo trace estimates.
+// either the exact execution measure or Monte-Carlo trace estimates. Exact
+// runs go through the engine's memoization cache, so repeated invocations
+// inside one process (and the dsed daemon serving the same request) reuse
+// the measure expansion.
 //
 // Usage:
 //
@@ -14,18 +17,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
-	"repro/internal/insight"
+	"repro/internal/engine"
 	"repro/internal/obs"
-	"repro/internal/psioa"
-	"repro/internal/rng"
-	"repro/internal/sched"
-	"repro/internal/spec"
 )
 
 type multiFlag []string
@@ -53,37 +52,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dsesim: need at least one -sys")
 		exit(2)
 	}
-	var auts []psioa.PSIOA
-	for _, ref := range systems {
-		a, err := spec.Resolve(ref)
-		fatal(err)
-		auts = append(auts, a)
-	}
-	w, err := psioa.Compose(auts...)
-	fatal(err)
-	fatal(psioa.Validate(w, 200000))
-
-	s := buildSched(w, *schedName, *order, *bound)
-	f := buildInsight(*insightName)
-
-	if *samples > 0 {
-		stream := rng.New(*seed)
-		d, err := sched.SampleImage(w, s, stream, 4**bound+16, *samples, func(fr *psioa.Frag) string {
-			return f.Apply(w, fr)
-		})
-		fatal(err)
-		fmt.Printf("sampled %s distribution over %d runs (%d outcomes):\n", f.ID, *samples, d.Len())
-		printDist(dMap(d.Support(), d.P), *maxShow)
-		exit(0)
+	var orderList []string
+	if *order != "" {
+		orderList = strings.Split(*order, ",")
 	}
 
-	em, err := sched.Measure(w, s, 4**bound+16)
+	r := engine.NewRunner(nil, engine.NewCache(0))
+	res, err := r.Simulate(context.Background(), &engine.SimulateSpec{
+		Systems: systems,
+		Sched:   *schedName,
+		Order:   orderList,
+		Bound:   *bound,
+		Samples: *samples,
+		Seed:    *seed,
+		Insight: *insightName,
+	})
 	fatal(err)
-	fmt.Printf("exact execution measure: %d executions, total mass %.6f, max length %d\n",
-		em.Len(), em.Total(), em.MaxLen())
-	img := em.Image(func(fr *psioa.Frag) string { return f.Apply(w, fr) })
-	fmt.Printf("%s distribution (%d outcomes):\n", f.ID, img.Len())
-	printDist(dMap(img.Support(), img.P), *maxShow)
+
+	if res.Exact {
+		fmt.Printf("exact execution measure: %d executions, total mass %.6f, max length %d\n",
+			res.Executions, res.TotalMass, res.MaxLen)
+		fmt.Printf("%s distribution (%d outcomes):\n", res.InsightID, len(res.Outcomes))
+	} else {
+		fmt.Printf("sampled %s distribution over %d runs (%d outcomes):\n",
+			res.InsightID, res.Executions, len(res.Outcomes))
+	}
+	printDist(res.Outcomes, *maxShow)
 	exit(0)
 }
 
@@ -94,80 +88,17 @@ func exit(code int) {
 	os.Exit(code)
 }
 
-func buildSched(w psioa.PSIOA, name, order string, bound int) sched.Scheduler {
-	var acts []psioa.Action
-	if order != "" {
-		for _, s := range strings.Split(order, ",") {
-			acts = append(acts, psioa.Action(strings.TrimSpace(s)))
-		}
-	}
-	switch name {
-	case "greedy":
-		return &sched.Greedy{A: w, Bound: bound, LocalOnly: true}
-	case "random":
-		return &sched.Random{A: w, Bound: bound, LocalOnly: true}
-	case "priority":
-		tmpl := make([]string, len(acts))
-		for i, a := range acts {
-			tmpl[i] = string(a)
-		}
-		ss, err := (&sched.PrefixPrioritySchema{Templates: [][]string{tmpl}}).Enumerate(w, bound)
-		fatal(err)
-		return ss[0]
-	case "sequence":
-		return &sched.Sequence{A: w, Acts: acts, LocalOnly: true}
-	default:
-		fmt.Fprintf(os.Stderr, "dsesim: unknown scheduler %q\n", name)
-		exit(2)
-		return nil
-	}
-}
-
-func buildInsight(name string) insight.Insight {
-	switch {
-	case name == "trace":
-		return insight.Trace()
-	case strings.HasPrefix(name, "accept:"):
-		return insight.Accept(psioa.Action(strings.TrimPrefix(name, "accept:")))
-	case strings.HasPrefix(name, "print:"):
-		return insight.Print(strings.TrimPrefix(name, "print:"))
-	default:
-		fmt.Fprintf(os.Stderr, "dsesim: unknown insight %q\n", name)
-		exit(2)
-		return insight.Insight{}
-	}
-}
-
-type entry struct {
-	k string
-	p float64
-}
-
-func dMap(keys []string, p func(string) float64) []entry {
-	out := make([]entry, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, entry{k, p(k)})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].p != out[j].p {
-			return out[i].p > out[j].p
-		}
-		return out[i].k < out[j].k
-	})
-	return out
-}
-
-func printDist(entries []entry, maxShow int) {
+func printDist(entries []engine.SimOutcome, maxShow int) {
 	for i, e := range entries {
 		if i >= maxShow {
 			fmt.Printf("  ... (%d more)\n", len(entries)-maxShow)
 			return
 		}
-		k := e.k
+		k := e.Key
 		if k == "()" || k == "" {
 			k = "(empty)"
 		}
-		fmt.Printf("  %8.5f  %s\n", e.p, k)
+		fmt.Printf("  %8.5f  %s\n", e.P, k)
 	}
 }
 

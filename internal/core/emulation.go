@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/adversary"
 	"repro/internal/bounded"
@@ -33,11 +34,17 @@ type EmulationReport struct {
 	PerAdv map[string]*Report
 }
 
-// String summarises the report.
+// String summarises the report, listing adversaries in sorted order so the
+// rendering is byte-identical run to run (PerAdv is a map).
 func (r *EmulationReport) String() string {
 	s := fmt.Sprintf("secure-emulation holds=%v adversaries=%d", r.Holds, len(r.PerAdv))
-	for id, rep := range r.PerAdv {
-		s += fmt.Sprintf("\n  %s: %s", id, rep)
+	ids := make([]string, 0, len(r.PerAdv))
+	for id := range r.PerAdv {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s += fmt.Sprintf("\n  %s: %s", id, r.PerAdv[id])
 	}
 	return s
 }

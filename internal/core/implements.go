@@ -13,9 +13,16 @@
 //     exact on finite instances, the analogue of model checking;
 //   - ImplementsWitness: a constructive witness σ ↦ σ′ is supplied (as the
 //     paper's proofs do) and only the balance condition is verified.
+//
+// Both renderings are embarrassingly parallel over (environment, scheduler)
+// pairs. The Options.Exec and Options.Memo hooks let callers fan the pair
+// work out to a worker pool and memoize the underlying measure expansions
+// (see internal/engine); the produced Report is byte-identical between
+// sequential and parallel runs.
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -44,6 +51,23 @@ func emitPair(tr obs.Tracer, env, sched string, dist float64, ok bool) {
 	tr.Emit(obs.Event{Kind: obs.KindPair, Name: sched, Attr: env + ":" + status, V: dist})
 }
 
+// Executor runs n independent tasks, possibly concurrently. fn(i) must be
+// safe to call from multiple goroutines for distinct i. Map returns the
+// error of the lowest-index failing task (so parallel and sequential runs
+// fail identically), or the context error if cancelled. internal/engine.Pool
+// is the standard implementation.
+type Executor interface {
+	Map(ctx context.Context, n int, fn func(i int) error) error
+}
+
+// Memo caches f-dist computations across checks, keyed by a canonical
+// fingerprint of the composed automaton plus the scheduler's name. The
+// returned distributions are shared and must be treated as read-only.
+// internal/engine.Cache is the standard implementation.
+type Memo interface {
+	FDist(w psioa.PSIOA, s sched.Scheduler, f insight.Insight, maxDepth int) (*measure.Dist[string], error)
+}
+
 // Options configures an implementation-relation check.
 type Options struct {
 	// Envs is the set of environments to quantify over (the executable
@@ -60,6 +84,14 @@ type Options struct {
 	Q1, Q2 int
 	// MaxDepth guards exact measure expansion; defaults to max(Q1,Q2).
 	MaxDepth int
+	// Exec fans the per-(environment, scheduler) work out to a worker pool
+	// (see internal/engine.Pool). Nil runs sequentially.
+	Exec Executor
+	// Memo caches measure expansions across repeated checks (see
+	// internal/engine.Cache). Nil recomputes everything.
+	Memo Memo
+	// Ctx cancels long-running checks. Nil means context.Background().
+	Ctx context.Context
 }
 
 func (o Options) q2() int {
@@ -80,6 +112,38 @@ func (o Options) depth() int {
 	return o.MaxDepth
 }
 
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// fdist computes f-dist through the memo when one is installed.
+func (o Options) fdist(w psioa.PSIOA, s sched.Scheduler) (*measure.Dist[string], error) {
+	if o.Memo != nil {
+		return o.Memo.FDist(w, s, o.Insight, o.depth())
+	}
+	return insight.FDist(w, s, o.Insight, o.depth())
+}
+
+// runTasks executes n tasks through the executor, or sequentially (stopping
+// at the first error, checking cancellation between tasks) when none is set.
+func (o Options) runTasks(ctx context.Context, n int, fn func(i int) error) error {
+	if o.Exec != nil {
+		return o.Exec.Map(ctx, n, fn)
+	}
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // PairResult records the outcome for one (environment, scheduler) pair.
 type PairResult struct {
 	// Env and Sched identify the environment and left scheduler.
@@ -93,7 +157,9 @@ type PairResult struct {
 	OK bool
 }
 
-// Report is the outcome of an implementation-relation check.
+// Report is the outcome of an implementation-relation check. Pairs are
+// always sorted by (Env, Sched), so reports are byte-identical however the
+// pair work was scheduled.
 type Report struct {
 	// Holds reports whether the relation held for every pair.
 	Holds bool
@@ -104,7 +170,22 @@ type Report struct {
 	Pairs []PairResult
 }
 
-// Failures returns the pairs for which no balanced scheduler was found.
+// sortPairs orders pair results canonically by (Env, Sched, Matched): the
+// deterministic report order shared by the sequential and pooled checkers.
+func sortPairs(pairs []PairResult) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Env != pairs[j].Env {
+			return pairs[i].Env < pairs[j].Env
+		}
+		if pairs[i].Sched != pairs[j].Sched {
+			return pairs[i].Sched < pairs[j].Sched
+		}
+		return pairs[i].Matched < pairs[j].Matched
+	})
+}
+
+// Failures returns the pairs for which no balanced scheduler was found, in
+// the report's canonical (Env, Sched) order.
 func (r *Report) Failures() []PairResult {
 	var out []PairResult
 	for _, p := range r.Pairs {
@@ -120,18 +201,42 @@ func (r *Report) String() string {
 	return fmt.Sprintf("holds=%v pairs=%d failures=%d maxDist=%.6g", r.Holds, len(r.Pairs), len(r.Failures()), r.MaxDist)
 }
 
-// Implements checks A ≤^{Sch,f}_{q1,q2,ε} B exhaustively: for every
-// environment E in opt.Envs and every q₁-bounded σ enumerated by the schema
-// on E‖A, it searches the schema's q₂-bounded schedulers on E‖B for one
-// balanced within ε (Def 4.12). Environments must be partially compatible
-// with both A and B.
-func Implements(a, b psioa.PSIOA, opt Options) (*Report, error) {
-	sp := obs.Begin("core.implements", a.ID()+" <= "+b.ID())
-	defer sp.End()
-	defer obs.Time("core.implements.us")()
-	cImplCalls.Inc()
-	tr := obs.Active()
-	rep := &Report{Holds: true}
+// assemble folds per-task pair results into the report in task order and
+// establishes the canonical pair ordering.
+func (r *Report) assemble(results []PairResult) {
+	for _, pr := range results {
+		if !pr.OK {
+			r.Holds = false
+		}
+		if pr.Dist > r.MaxDist && !math.IsInf(pr.Dist, 1) {
+			r.MaxDist = pr.Dist
+		}
+		r.Pairs = append(r.Pairs, pr)
+	}
+	sortPairs(r.Pairs)
+}
+
+// rd is one precomputed right-side perception.
+type rd struct {
+	name string
+	dist *measure.Dist[string]
+}
+
+// envWork is the per-environment setup shared by the pair tasks.
+type envWork struct {
+	env    psioa.PSIOA
+	wa, wb *psioa.Product
+	left   []sched.Scheduler
+	right  []sched.Scheduler
+	rds    []rd
+}
+
+// setup composes every environment with both systems and enumerates the
+// schema on the compositions. It is sequential: composition and enumeration
+// are cheap relative to measure expansion, and running them up front keeps
+// error reporting deterministic.
+func setup(a, b psioa.PSIOA, opt Options, needRight bool) ([]*envWork, error) {
+	works := make([]*envWork, 0, len(opt.Envs))
 	for _, env := range opt.Envs {
 		wa, err := psioa.Compose(env, a)
 		if err != nil {
@@ -145,60 +250,112 @@ func Implements(a, b psioa.PSIOA, opt Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		right, err := opt.Schema.Enumerate(wb, opt.q2())
-		if err != nil {
-			return nil, err
-		}
-		// Precompute the right-side perceptions once.
-		type rd struct {
-			name string
-			dist *measure.Dist[string]
-		}
-		rds := make([]rd, 0, len(right))
-		for _, s2 := range right {
-			d2, err := insight.FDist(wb, s2, opt.Insight, opt.depth())
+		w := &envWork{env: env, wa: wa, wb: wb, left: left}
+		if needRight {
+			right, err := opt.Schema.Enumerate(wb, opt.q2())
 			if err != nil {
-				return nil, fmt.Errorf("core: right scheduler %s: %w", s2.Name(), err)
+				return nil, err
 			}
-			rds = append(rds, rd{s2.Name(), d2})
+			w.right = right
+			w.rds = make([]rd, len(right))
 		}
-		for _, s1 := range left {
-			d1, err := insight.FDist(wa, s1, opt.Insight, opt.depth())
-			if err != nil {
-				return nil, fmt.Errorf("core: left scheduler %s: %w", s1.Name(), err)
-			}
-			best := math.Inf(1)
-			bestName := ""
-			for _, r := range rds {
-				if d := insight.Distance(d1, r.dist); d < best {
-					best, bestName = d, r.name
-				}
-			}
-			pr := PairResult{
-				Env: env.ID(), Sched: s1.Name(),
-				Dist: best, OK: best <= opt.Eps+measure.Eps,
-			}
-			if pr.OK {
-				pr.Matched = bestName
-			} else {
-				rep.Holds = false
-			}
-			cImplPairs.Inc()
-			if tr.Enabled() {
-				emitPair(tr, pr.Env, pr.Sched, pr.Dist, pr.OK)
-			}
-			if best > rep.MaxDist && !math.IsInf(best, 1) {
-				rep.MaxDist = best
-			}
-			rep.Pairs = append(rep.Pairs, pr)
+		works = append(works, w)
+	}
+	return works, nil
+}
+
+// Implements checks A ≤^{Sch,f}_{q1,q2,ε} B exhaustively: for every
+// environment E in opt.Envs and every q₁-bounded σ enumerated by the schema
+// on E‖A, it searches the schema's q₂-bounded schedulers on E‖B for one
+// balanced within ε (Def 4.12). Environments must be partially compatible
+// with both A and B.
+//
+// The search fans out through opt.Exec when set: right-side perceptions are
+// computed first (one task per (environment, right scheduler)), then every
+// (environment, left scheduler) pair is decided independently. The report
+// is identical to the sequential one.
+func Implements(a, b psioa.PSIOA, opt Options) (*Report, error) {
+	sp := obs.Begin("core.implements", a.ID()+" <= "+b.ID())
+	defer sp.End()
+	defer obs.Time("core.implements.us")()
+	cImplCalls.Inc()
+	tr := obs.Active()
+	ctx := opt.ctx()
+	works, err := setup(a, b, opt, true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: the right-side perceptions, once per (env, right scheduler).
+	type rref struct {
+		w *envWork
+		j int
+	}
+	var rrefs []rref
+	for _, w := range works {
+		for j := range w.right {
+			rrefs = append(rrefs, rref{w, j})
 		}
 	}
-	sort.Slice(rep.Pairs, func(i, j int) bool {
-		if rep.Pairs[i].Env != rep.Pairs[j].Env {
-			return rep.Pairs[i].Env < rep.Pairs[j].Env
+	err = opt.runTasks(ctx, len(rrefs), func(i int) error {
+		r := rrefs[i]
+		s2 := r.w.right[r.j]
+		d2, err := opt.fdist(r.w.wb, s2)
+		if err != nil {
+			return fmt.Errorf("core: right scheduler %s: %w", s2.Name(), err)
 		}
-		return rep.Pairs[i].Sched < rep.Pairs[j].Sched
+		r.w.rds[r.j] = rd{s2.Name(), d2}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: decide every (env, left scheduler) pair against the
+	// precomputed right-side perceptions.
+	type lref struct {
+		w  *envWork
+		s1 sched.Scheduler
+	}
+	var lrefs []lref
+	for _, w := range works {
+		for _, s1 := range w.left {
+			lrefs = append(lrefs, lref{w, s1})
+		}
+	}
+	results := make([]PairResult, len(lrefs))
+	err = opt.runTasks(ctx, len(lrefs), func(i int) error {
+		t := lrefs[i]
+		d1, err := opt.fdist(t.w.wa, t.s1)
+		if err != nil {
+			return fmt.Errorf("core: left scheduler %s: %w", t.s1.Name(), err)
+		}
+		best := math.Inf(1)
+		bestName := ""
+		for _, r := range t.w.rds {
+			if d := insight.Distance(d1, r.dist); d < best {
+				best, bestName = d, r.name
+			}
+		}
+		pr := PairResult{
+			Env: t.w.env.ID(), Sched: t.s1.Name(),
+			Dist: best, OK: best <= opt.Eps+measure.Eps,
+		}
+		if pr.OK {
+			pr.Matched = bestName
+		}
+		cImplPairs.Inc()
+		if tr.Enabled() {
+			emitPair(tr, pr.Env, pr.Sched, pr.Dist, pr.OK)
+		}
+		results[i] = pr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Holds: true}
+	rep.assemble(results)
 	return rep, nil
 }
 
@@ -218,47 +375,57 @@ func IdentityWitness() Witness {
 
 // ImplementsWitness checks the implementation relation with a constructive
 // witness: for every environment and every schema scheduler σ on E‖A, it
-// verifies σ S^{≤ε}_{E,f} w(σ).
+// verifies σ S^{≤ε}_{E,f} w(σ). Like Implements, the per-pair balance
+// checks fan out through opt.Exec when set.
 func ImplementsWitness(a, b psioa.PSIOA, w Witness, opt Options) (*Report, error) {
 	sp := obs.Begin("core.implements.witness", a.ID()+" <= "+b.ID())
 	defer sp.End()
 	defer obs.Time("core.implements.us")()
 	cImplCalls.Inc()
 	tr := obs.Active()
-	rep := &Report{Holds: true}
-	for _, env := range opt.Envs {
-		wa, err := psioa.Compose(env, a)
-		if err != nil {
-			return nil, err
-		}
-		wb, err := psioa.Compose(env, b)
-		if err != nil {
-			return nil, err
-		}
-		left, err := opt.Schema.Enumerate(wa, opt.Q1)
-		if err != nil {
-			return nil, err
-		}
-		for _, s1 := range left {
-			s2 := w(env, wa, s1, wb)
-			ok, dist, err := insight.Balanced(wa, s1, wb, s2, opt.Insight, opt.Eps, opt.depth())
-			if err != nil {
-				return nil, err
-			}
-			pr := PairResult{Env: env.ID(), Sched: s1.Name(), Matched: s2.Name(), Dist: dist, OK: ok}
-			if !ok {
-				rep.Holds = false
-			}
-			cImplPairs.Inc()
-			if tr.Enabled() {
-				emitPair(tr, pr.Env, pr.Sched, pr.Dist, pr.OK)
-			}
-			if dist > rep.MaxDist {
-				rep.MaxDist = dist
-			}
-			rep.Pairs = append(rep.Pairs, pr)
+	ctx := opt.ctx()
+	works, err := setup(a, b, opt, false)
+	if err != nil {
+		return nil, err
+	}
+	// The witness is applied sequentially up front: witnesses may compose
+	// automata and are not required to be concurrency-safe.
+	type pairTask struct {
+		w      *envWork
+		s1, s2 sched.Scheduler
+	}
+	var tasks []pairTask
+	for _, ew := range works {
+		for _, s1 := range ew.left {
+			tasks = append(tasks, pairTask{ew, s1, w(ew.env, ew.wa, s1, ew.wb)})
 		}
 	}
+	results := make([]PairResult, len(tasks))
+	err = opt.runTasks(ctx, len(tasks), func(i int) error {
+		t := tasks[i]
+		d1, err := opt.fdist(t.w.wa, t.s1)
+		if err != nil {
+			return err
+		}
+		d2, err := opt.fdist(t.w.wb, t.s2)
+		if err != nil {
+			return err
+		}
+		dist := insight.Distance(d1, d2)
+		ok := dist <= opt.Eps+measure.Eps
+		pr := PairResult{Env: t.w.env.ID(), Sched: t.s1.Name(), Matched: t.s2.Name(), Dist: dist, OK: ok}
+		cImplPairs.Inc()
+		if tr.Enabled() {
+			emitPair(tr, pr.Env, pr.Sched, pr.Dist, pr.OK)
+		}
+		results[i] = pr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Holds: true}
+	rep.assemble(results)
 	return rep, nil
 }
 

@@ -1,0 +1,61 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/insight"
+	"repro/internal/protocols/coin"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+)
+
+func BenchmarkFingerprint(b *testing.B) {
+	w := psioa.MustCompose(coin.Fair("x"), coin.Env("x"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Fingerprint(w, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCachedFDistWarm(b *testing.B) {
+	c := engine.NewCache(0)
+	w := psioa.MustCompose(coin.Fair("x"), coin.Env("x"))
+	s := &sched.Greedy{A: w, Bound: 4, LocalOnly: true}
+	f := insight.Trace()
+	if _, err := c.FDist(w, s, f, 8); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.FDist(w, s, f, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUncachedFDist(b *testing.B) {
+	w := psioa.MustCompose(coin.Fair("x"), coin.Env("x"))
+	s := &sched.Greedy{A: w, Bound: 4, LocalOnly: true}
+	f := insight.Trace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := insight.FDist(w, s, f, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPoolMap(b *testing.B) {
+	p := engine.NewPool(4)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.Map(ctx, 16, func(int) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

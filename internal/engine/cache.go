@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"container/list"
+	"reflect"
+	"strconv"
+	"sync"
+
+	"repro/internal/insight"
+	"repro/internal/measure"
+	"repro/internal/obs"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+)
+
+// Observability instruments for the cache; hit/miss counters are the
+// acceptance signal that memoization is actually engaging across repeated
+// checks (GET /v1/metrics on the daemon exposes them).
+var (
+	cCacheHits      = obs.C("engine.cache.hits")
+	cCacheMisses    = obs.C("engine.cache.misses")
+	cCacheEvictions = obs.C("engine.cache.evictions")
+	gCacheSize      = obs.G("engine.cache.size")
+)
+
+// DefaultCacheSize is the default entry bound of a Cache.
+const DefaultCacheSize = 4096
+
+// maxFingerprintMemo bounds the identity-keyed fingerprint memo; when
+// exceeded it is dropped wholesale (fingerprints are recomputable).
+const maxFingerprintMemo = 8192
+
+// Cache is a concurrency-safe, size-bounded LRU cache for the expensive
+// intermediate results of implementation checks: exploration results and
+// execution-measure distributions, keyed by a canonical automaton
+// fingerprint (plus scheduler name, insight id and depth). It implements
+// core.Memo, so it can be plugged into core.Options directly.
+//
+// Cached values are shared between callers and must be treated as
+// read-only; everything the engine caches (Exploration, ExecMeasure,
+// measure.Dist) is immutable after construction.
+//
+// Memoization keys schedulers by Scheduler.Name(). Every schema in
+// internal/sched produces structurally-descriptive names (the sequence or
+// priority order is part of the name), which makes the name canonical per
+// automaton; hand-built FuncSched values that reuse an ID for different
+// behaviour on the same automaton would alias and must not be mixed with a
+// shared cache.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	fpLimit int
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	fps     map[psioa.PSIOA]string
+}
+
+type centry struct {
+	key string
+	val any
+}
+
+// NewCache returns a cache bounded to capacity entries (DefaultCacheSize if
+// capacity <= 0), fingerprinting automata with DefaultFingerprintLimit.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{
+		cap:     capacity,
+		fpLimit: DefaultFingerprintLimit,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		fps:     make(map[psioa.PSIOA]string),
+	}
+}
+
+// SetFingerprintLimit overrides the exploration bound used when
+// fingerprinting automata (see Fingerprint). Call before sharing the cache.
+func (c *Cache) SetFingerprintLimit(limit int) { c.fpLimit = limit }
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		cCacheMisses.Inc()
+		return nil, false
+	}
+	cCacheHits.Inc()
+	c.ll.MoveToFront(el)
+	return el.Value.(*centry).val, true
+}
+
+// Put stores a value, evicting least-recently-used entries over capacity.
+func (c *Cache) Put(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*centry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&centry{key: key, val: v})
+	for len(c.items) > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*centry).key)
+		cCacheEvictions.Inc()
+	}
+	gCacheSize.Set(int64(len(c.items)))
+}
+
+// Fingerprint returns the canonical fingerprint of a, memoized by identity
+// for automata with comparable dynamic types (compositions produce fresh
+// pointers per check, so the identity memo is bounded and periodically
+// dropped rather than LRU-managed).
+func (c *Cache) Fingerprint(a psioa.PSIOA) (string, error) {
+	cmp := reflect.TypeOf(a).Comparable()
+	if cmp {
+		c.mu.Lock()
+		fp, ok := c.fps[a]
+		c.mu.Unlock()
+		if ok {
+			return fp, nil
+		}
+	}
+	fp, err := Fingerprint(a, c.fpLimit)
+	if err != nil {
+		return "", err
+	}
+	if cmp {
+		c.mu.Lock()
+		if len(c.fps) >= maxFingerprintMemo {
+			c.fps = make(map[psioa.PSIOA]string)
+		}
+		c.fps[a] = fp
+		c.mu.Unlock()
+	}
+	return fp, nil
+}
+
+// Explore is a memoizing psioa.Explore: repeated explorations of
+// structurally identical automata return the cached Exploration. A nil
+// cache passes through.
+func (c *Cache) Explore(a psioa.PSIOA, limit int) (*psioa.Exploration, error) {
+	if c == nil {
+		return psioa.Explore(a, limit)
+	}
+	fp, err := c.Fingerprint(a)
+	if err != nil {
+		return nil, err
+	}
+	key := "explore|" + fp + "|" + strconv.Itoa(limit)
+	if v, ok := c.Get(key); ok {
+		return v.(*psioa.Exploration), nil
+	}
+	ex, err := psioa.Explore(a, limit)
+	if err != nil {
+		return nil, err
+	}
+	c.Put(key, ex)
+	return ex, nil
+}
+
+// Measure is a memoizing sched.Measure: the exact execution measure of a
+// (automaton, scheduler, depth) triple is expanded once and reused across
+// checks. A nil cache passes through.
+func (c *Cache) Measure(a psioa.PSIOA, s sched.Scheduler, maxDepth int) (*sched.ExecMeasure, error) {
+	if c == nil {
+		return sched.Measure(a, s, maxDepth)
+	}
+	fp, err := c.Fingerprint(a)
+	if err != nil {
+		return nil, err
+	}
+	key := "measure|" + fp + "|" + s.Name() + "|" + strconv.Itoa(maxDepth)
+	if v, ok := c.Get(key); ok {
+		return v.(*sched.ExecMeasure), nil
+	}
+	em, err := sched.Measure(a, s, maxDepth)
+	if err != nil {
+		return nil, err
+	}
+	c.Put(key, em)
+	return em, nil
+}
+
+// FDist is a memoizing insight.FDist, the hot path of Implements: the image
+// distribution is cached per (automaton, scheduler, insight, depth), and a
+// miss reuses a cached execution measure when one exists. Implements
+// core.Memo. A nil cache passes through.
+func (c *Cache) FDist(w psioa.PSIOA, s sched.Scheduler, f insight.Insight, maxDepth int) (*measure.Dist[string], error) {
+	if c == nil {
+		return insight.FDist(w, s, f, maxDepth)
+	}
+	fp, err := c.Fingerprint(w)
+	if err != nil {
+		return nil, err
+	}
+	key := "fdist|" + fp + "|" + s.Name() + "|" + f.ID + "|" + strconv.Itoa(maxDepth)
+	if v, ok := c.Get(key); ok {
+		return v.(*measure.Dist[string]), nil
+	}
+	em, err := c.Measure(w, s, maxDepth)
+	if err != nil {
+		return nil, err
+	}
+	img := em.Image(func(fr *psioa.Frag) string { return f.Apply(w, fr) })
+	c.Put(key, img)
+	return img, nil
+}

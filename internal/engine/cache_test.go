@@ -1,0 +1,196 @@
+package engine_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/insight"
+	"repro/internal/obs"
+	"repro/internal/protocols/coin"
+	"repro/internal/psioa"
+	"repro/internal/sched"
+)
+
+func TestFingerprintCanonical(t *testing.T) {
+	fp1, err := engine.Fingerprint(coin.Fair("x"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := engine.Fingerprint(coin.Fair("x"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Errorf("same automaton, different fingerprints: %s vs %s", fp1, fp2)
+	}
+	fp3, err := engine.Fingerprint(coin.Flipper("x", 0.75), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 == fp3 {
+		t.Error("fair and biased coin share a fingerprint")
+	}
+	// A composition fingerprints like itself, built twice.
+	w1 := psioa.MustCompose(coin.Fair("x"), coin.Env("x"))
+	w2 := psioa.MustCompose(coin.Fair("x"), coin.Env("x"))
+	g1, err := engine.Fingerprint(w1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := engine.Fingerprint(w2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("structurally identical compositions fingerprint differently")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	ev0 := obs.C("engine.cache.evictions").Value()
+	c := engine.NewCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3)
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should have survived")
+	}
+	if got := obs.C("engine.cache.evictions").Value() - ev0; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := engine.NewCache(16)
+	w := psioa.MustCompose(coin.Fair("x"), coin.Env("x"))
+	s := &sched.Greedy{A: w, Bound: 3, LocalOnly: true}
+
+	hits0 := obs.C("engine.cache.hits").Value()
+	miss0 := obs.C("engine.cache.misses").Value()
+	if _, err := c.FDist(w, s, insight.Trace(), 6); err != nil {
+		t.Fatal(err)
+	}
+	if obs.C("engine.cache.hits").Value() != hits0 {
+		t.Error("cold FDist should not hit")
+	}
+	if obs.C("engine.cache.misses").Value() == miss0 {
+		t.Error("cold FDist should record misses")
+	}
+	hits1 := obs.C("engine.cache.hits").Value()
+	if _, err := c.FDist(w, s, insight.Trace(), 6); err != nil {
+		t.Fatal(err)
+	}
+	if obs.C("engine.cache.hits").Value() <= hits1 {
+		t.Error("warm FDist should hit the cache")
+	}
+}
+
+// TestCachedIdentity is the memoization regression: every cached accessor
+// must return results identical to the uncached computation.
+func TestCachedIdentity(t *testing.T) {
+	c := engine.NewCache(64)
+	w := psioa.MustCompose(coin.Flipper("x", 0.625), coin.Env("x"))
+	s := &sched.Greedy{A: w, Bound: 4, LocalOnly: true}
+	f := insight.Trace()
+	const depth = 8
+
+	exPlain, err := psioa.Explore(w, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ { // round 1 exercises the hit path
+		ex, err := c.Explore(w, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ex.States) != len(exPlain.States) || ex.Truncated != exPlain.Truncated {
+			t.Errorf("round %d: cached exploration differs: %d states vs %d",
+				round, len(ex.States), len(exPlain.States))
+		}
+	}
+
+	emPlain, err := sched.Measure(w, s, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		em, err := c.Measure(w, s, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if em.Len() != emPlain.Len() || em.Total() != emPlain.Total() || em.MaxLen() != emPlain.MaxLen() {
+			t.Errorf("round %d: cached measure differs: len %d/%d total %v/%v",
+				round, em.Len(), emPlain.Len(), em.Total(), emPlain.Total())
+		}
+	}
+
+	dPlain, err := insight.FDist(w, s, f, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		d, err := c.FDist(w, s, f, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Len() != dPlain.Len() {
+			t.Fatalf("round %d: support size %d, want %d", round, d.Len(), dPlain.Len())
+		}
+		for _, k := range dPlain.Support() {
+			if math.Abs(d.P(k)-dPlain.P(k)) > 0 {
+				t.Errorf("round %d: P(%q) = %v, want %v", round, k, d.P(k), dPlain.P(k))
+			}
+		}
+	}
+}
+
+func TestNilCachePassesThrough(t *testing.T) {
+	var c *engine.Cache
+	w := psioa.MustCompose(coin.Fair("x"), coin.Env("x"))
+	s := &sched.Greedy{A: w, Bound: 3, LocalOnly: true}
+	if _, err := c.Explore(w, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Measure(w, s, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FDist(w, s, insight.Trace(), 6); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Error("nil cache has entries?")
+	}
+}
+
+func TestSchedulerNameDisambiguates(t *testing.T) {
+	// Two different schedulers on the same automaton must not alias in the
+	// cache: the memo key includes Scheduler.Name().
+	c := engine.NewCache(64)
+	w := psioa.MustCompose(coin.Fair("x"), coin.Env("x"))
+	g := &sched.Greedy{A: w, Bound: 1, LocalOnly: true}
+	g2 := &sched.Greedy{A: w, Bound: 4, LocalOnly: true}
+	em1, err := c.Measure(w, g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em2, err := c.Measure(w, g2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em1.MaxLen() == em2.MaxLen() {
+		t.Errorf("bound-1 and bound-4 greedy measures alias: MaxLen %d both", em1.MaxLen())
+	}
+}

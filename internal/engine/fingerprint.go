@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/psioa"
+)
+
+// DefaultFingerprintLimit bounds the exploration a fingerprint is computed
+// from. Automata larger than this still fingerprint (the hash covers the
+// first DefaultFingerprintLimit states plus a truncation marker), but
+// distinct automata that agree on that fragment would collide, so cache
+// users working with larger systems should raise the limit.
+const DefaultFingerprintLimit = 1 << 15
+
+var cFingerprints = obs.C("engine.fingerprints")
+
+// Fingerprint computes a canonical identity for an automaton: a hash over
+// its ID, start state, and the sorted reachable transition structure
+// (states, signatures, and transition measures, all in canonical order, the
+// same representation internal/codec's encodings canonicalise). Two automata
+// with equal fingerprints behave identically on their explored fragment, so
+// the fingerprint is a sound memoization key for Explore and Measure
+// results. limit <= 0 means DefaultFingerprintLimit.
+func Fingerprint(a psioa.PSIOA, limit int) (string, error) {
+	if limit <= 0 {
+		limit = DefaultFingerprintLimit
+	}
+	ex, err := psioa.Explore(a, limit)
+	if err != nil {
+		return "", err
+	}
+	cFingerprints.Inc()
+	h := fnv.New128a()
+	wr := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	wr(a.ID())
+	wr(string(a.Start()))
+	for _, q := range ex.SortedStates() {
+		sig := ex.Sigs[q]
+		wr("q")
+		wr(string(q))
+		for _, part := range []struct {
+			tag  string
+			acts psioa.ActionSet
+		}{{"in", sig.In}, {"out", sig.Out}, {"int", sig.Int}} {
+			wr(part.tag)
+			for _, act := range part.acts.Sorted() {
+				wr(string(act))
+			}
+		}
+		for _, act := range sig.All().Sorted() {
+			wr("t")
+			wr(string(act))
+			d := a.Trans(q, act)
+			succs := d.Support()
+			sortStates(succs)
+			for _, q2 := range succs {
+				wr(string(q2))
+				wr(strconv.FormatFloat(d.P(q2), 'g', -1, 64))
+			}
+		}
+	}
+	fp := fmt.Sprintf("%x", h.Sum(nil))
+	if ex.Truncated {
+		// A truncated exploration identifies only the explored fragment;
+		// mark it so such keys are visibly partial.
+		fp += "!trunc"
+	}
+	return fp, nil
+}
+
+func sortStates(qs []psioa.State) {
+	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+}

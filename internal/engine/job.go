@@ -1,0 +1,464 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bounded"
+	"repro/internal/core"
+	"repro/internal/insight"
+	"repro/internal/measure"
+	"repro/internal/obs"
+	"repro/internal/pca"
+	"repro/internal/psioa"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/spec"
+)
+
+// Job kinds.
+const (
+	KindCheck    = "check"
+	KindSimulate = "simulate"
+	KindDescribe = "describe"
+)
+
+// Job is one batch request, expressed as a value so the same code path
+// backs the CLI tools, tests and the dsed daemon. Exactly one of the spec
+// fields matching Kind must be set.
+type Job struct {
+	// Kind selects the operation: check | simulate | describe.
+	Kind string `json:"kind"`
+	// Check is the Def 4.12 implementation check request.
+	Check *CheckSpec `json:"check,omitempty"`
+	// Simulate is the execution-measure / Monte-Carlo request.
+	Simulate *SimulateSpec `json:"simulate,omitempty"`
+	// Describe is the §4.1–4.2 resource-bound profile request.
+	Describe *DescribeSpec `json:"describe,omitempty"`
+	// TimeoutMS bounds the job's run time (0 = caller's default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// CheckSpec describes an Implements run over spec references (see
+// internal/spec.Resolve for the reference syntax).
+type CheckSpec struct {
+	Left      string     `json:"left"`
+	Right     string     `json:"right"`
+	Envs      []string   `json:"envs"`
+	Schema    string     `json:"schema,omitempty"` // oblivious | basic | priority (default oblivious)
+	Templates [][]string `json:"templates,omitempty"`
+	Insight   string     `json:"insight,omitempty"` // trace | accept:<act> | print:<prefix> (default trace)
+	Eps       float64    `json:"eps"`
+	Q1        int        `json:"q1"`
+	Q2        int        `json:"q2,omitempty"`
+	MaxDepth  int        `json:"max_depth,omitempty"`
+}
+
+// SimulateSpec describes an exact execution-measure computation (Samples ==
+// 0) or a Monte-Carlo estimate (Samples > 0) of the composed systems under
+// one scheduler.
+type SimulateSpec struct {
+	Systems []string `json:"systems"`
+	Sched   string   `json:"sched,omitempty"` // greedy | random | priority | sequence (default greedy)
+	Order   []string `json:"order,omitempty"`
+	Bound   int      `json:"bound"`
+	Samples int      `json:"samples,omitempty"`
+	Seed    uint64   `json:"seed,omitempty"`
+	Insight string   `json:"insight,omitempty"`
+	// MaxDepth guards the expansion; default 4*Bound+16.
+	MaxDepth int `json:"max_depth,omitempty"`
+}
+
+// DescribeSpec describes a resource-bound profile request. With exactly two
+// systems the empirical Lemma 4.3 composition bound is also reported.
+type DescribeSpec struct {
+	Systems []string `json:"systems"`
+	Limit   int      `json:"limit,omitempty"` // exploration limit, default 100000
+}
+
+// SimOutcome is one row of a simulated insight distribution.
+type SimOutcome struct {
+	Key string  `json:"key"`
+	P   float64 `json:"p"`
+}
+
+// SimulateResult is the outcome of a simulate job. For exact runs the
+// measure statistics are filled; for sampled runs Executions is the sample
+// count and TotalMass 1.
+type SimulateResult struct {
+	Exact      bool         `json:"exact"`
+	InsightID  string       `json:"insight_id"`
+	Executions int          `json:"executions"`
+	TotalMass  float64      `json:"total_mass"`
+	MaxLen     int          `json:"max_len"`
+	Outcomes   []SimOutcome `json:"outcomes"`
+}
+
+// SystemDescription is the profile of one system in a describe job.
+type SystemDescription struct {
+	Ref            string `json:"ref"`
+	Description    string `json:"description"`
+	QueryMaxBits   int64  `json:"query_max_bits"`
+	QueryTotalBits int64  `json:"query_total_bits"`
+	States         int    `json:"states"`
+	Actions        int    `json:"actions"`
+	Truncated      bool   `json:"truncated"`
+}
+
+// DescribeResult is the outcome of a describe job.
+type DescribeResult struct {
+	Systems          []SystemDescription `json:"systems"`
+	CompositionBound string              `json:"composition_bound,omitempty"`
+}
+
+// Result is the outcome of a job; the field matching the job's Kind is set.
+type Result struct {
+	Kind     string          `json:"kind"`
+	Check    *core.Report    `json:"check,omitempty"`
+	Simulate *SimulateResult `json:"simulate,omitempty"`
+	Describe *DescribeResult `json:"describe,omitempty"`
+}
+
+// Observability instruments for the runner.
+var (
+	cJobsRun    = obs.C("engine.jobs.run")
+	cJobsFailed = obs.C("engine.jobs.failed")
+)
+
+// Runner executes jobs on a shared pool with a shared memoization cache.
+// Both may be nil (sequential, uncached). The zero Resolve resolves system
+// references through internal/spec.
+type Runner struct {
+	Pool    *Pool
+	Cache   *Cache
+	Resolve func(ref string) (psioa.PSIOA, error)
+}
+
+// NewRunner returns a runner over the given pool and cache.
+func NewRunner(pool *Pool, cache *Cache) *Runner {
+	return &Runner{Pool: pool, Cache: cache}
+}
+
+func (r *Runner) resolve(ref string) (psioa.PSIOA, error) {
+	if r.Resolve != nil {
+		return r.Resolve(ref)
+	}
+	return spec.Resolve(ref)
+}
+
+func (r *Runner) resolveAll(refs []string) ([]psioa.PSIOA, error) {
+	out := make([]psioa.PSIOA, 0, len(refs))
+	for _, ref := range refs {
+		a, err := r.resolve(ref)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// options assembles core.Options wired to the runner's pool and cache.
+func (r *Runner) options(ctx context.Context) core.Options {
+	opt := core.Options{Ctx: ctx}
+	if r.Pool != nil {
+		opt.Exec = r.Pool
+	}
+	if r.Cache != nil {
+		opt.Memo = r.Cache
+	}
+	return opt
+}
+
+// Run executes one job. The context bounds the run; Job.TimeoutMS, when
+// set, tightens it further.
+func (r *Runner) Run(ctx context.Context, job Job) (*Result, error) {
+	if job.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(job.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	cJobsRun.Inc()
+	res, err := r.dispatch(ctx, job)
+	if err != nil {
+		cJobsFailed.Inc()
+	}
+	return res, err
+}
+
+func (r *Runner) dispatch(ctx context.Context, job Job) (*Result, error) {
+	switch job.Kind {
+	case KindCheck:
+		if job.Check == nil {
+			return nil, fmt.Errorf("engine: check job without check spec")
+		}
+		rep, err := r.Check(ctx, job.Check)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Kind: KindCheck, Check: rep}, nil
+	case KindSimulate:
+		if job.Simulate == nil {
+			return nil, fmt.Errorf("engine: simulate job without simulate spec")
+		}
+		sr, err := r.Simulate(ctx, job.Simulate)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Kind: KindSimulate, Simulate: sr}, nil
+	case KindDescribe:
+		if job.Describe == nil {
+			return nil, fmt.Errorf("engine: describe job without describe spec")
+		}
+		dr, err := r.DescribeSystems(ctx, job.Describe)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Kind: KindDescribe, Describe: dr}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown job kind %q", job.Kind)
+	}
+}
+
+// Check resolves the spec and runs core.Implements on the runner's pool and
+// cache. The report is identical to a sequential, uncached run.
+func (r *Runner) Check(ctx context.Context, cs *CheckSpec) (*core.Report, error) {
+	if cs.Left == "" || cs.Right == "" || len(cs.Envs) == 0 {
+		return nil, fmt.Errorf("engine: check needs left, right and at least one env")
+	}
+	a, err := r.resolve(cs.Left)
+	if err != nil {
+		return nil, err
+	}
+	b, err := r.resolve(cs.Right)
+	if err != nil {
+		return nil, err
+	}
+	envs, err := r.resolveAll(cs.Envs)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := SchemaByName(cs.Schema, cs.Templates)
+	if err != nil {
+		return nil, err
+	}
+	ins, err := InsightByName(cs.Insight)
+	if err != nil {
+		return nil, err
+	}
+	opt := r.options(ctx)
+	opt.Envs = envs
+	opt.Schema = schema
+	opt.Insight = ins
+	opt.Eps = cs.Eps
+	opt.Q1 = cs.Q1
+	opt.Q2 = cs.Q2
+	opt.MaxDepth = cs.MaxDepth
+	return core.Implements(a, b, opt)
+}
+
+// Simulate composes the referenced systems, resolves non-determinism with
+// the requested scheduler and computes the exact execution measure (or a
+// Monte-Carlo estimate when Samples > 0), reusing cached measures for
+// repeated exact requests.
+func (r *Runner) Simulate(ctx context.Context, ss *SimulateSpec) (*SimulateResult, error) {
+	if len(ss.Systems) == 0 {
+		return nil, fmt.Errorf("engine: simulate needs at least one system")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	auts, err := r.resolveAll(ss.Systems)
+	if err != nil {
+		return nil, err
+	}
+	w, err := psioa.Compose(auts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := psioa.Validate(w, 200000); err != nil {
+		return nil, err
+	}
+	s, err := SchedByName(w, ss.Sched, ss.Order, ss.Bound)
+	if err != nil {
+		return nil, err
+	}
+	ins, err := InsightByName(ss.Insight)
+	if err != nil {
+		return nil, err
+	}
+	depth := ss.MaxDepth
+	if depth <= 0 {
+		depth = 4*ss.Bound + 16
+	}
+	if ss.Samples > 0 {
+		stream := rng.New(ss.Seed)
+		d, err := sched.SampleImage(w, s, stream, depth, ss.Samples, func(fr *psioa.Frag) string {
+			return ins.Apply(w, fr)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &SimulateResult{
+			Exact:      false,
+			InsightID:  ins.ID,
+			Executions: ss.Samples,
+			TotalMass:  d.Total(),
+			Outcomes:   outcomes(d),
+		}, nil
+	}
+	em, err := r.Cache.Measure(w, s, depth)
+	if err != nil {
+		return nil, err
+	}
+	img, err := r.Cache.FDist(w, s, ins, depth)
+	if err != nil {
+		return nil, err
+	}
+	return &SimulateResult{
+		Exact:      true,
+		InsightID:  ins.ID,
+		Executions: em.Len(),
+		TotalMass:  em.Total(),
+		MaxLen:     em.MaxLen(),
+		Outcomes:   outcomes(img),
+	}, nil
+}
+
+// DescribeSystems profiles each referenced system (description lengths,
+// per-query work, reachability), plus the Lemma 4.3 composition bound when
+// exactly two systems are given.
+func (r *Runner) DescribeSystems(ctx context.Context, ds *DescribeSpec) (*DescribeResult, error) {
+	if len(ds.Systems) == 0 {
+		return nil, fmt.Errorf("engine: describe needs at least one system")
+	}
+	limit := ds.Limit
+	if limit <= 0 {
+		limit = 100000
+	}
+	out := &DescribeResult{}
+	auts := make([]psioa.PSIOA, 0, len(ds.Systems))
+	for _, ref := range ds.Systems {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		a, err := r.resolve(ref)
+		if err != nil {
+			return nil, err
+		}
+		auts = append(auts, a)
+		target := a
+		if x, ok := a.(pca.PCA); ok {
+			target = pca.DescAdapter{PCA: x}
+		}
+		d, err := bounded.Describe(target, limit)
+		if err != nil {
+			return nil, err
+		}
+		maxQ, total, err := bounded.QueryWork(a, limit)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := r.Cache.Explore(a, limit)
+		if err != nil {
+			return nil, err
+		}
+		out.Systems = append(out.Systems, SystemDescription{
+			Ref:            ref,
+			Description:    d.String(),
+			QueryMaxBits:   maxQ,
+			QueryTotalBits: total,
+			States:         len(ex.States),
+			Actions:        len(ex.Acts),
+			Truncated:      ex.Truncated,
+		})
+	}
+	if len(auts) == 2 {
+		cb, err := bounded.CompositionBound(auts[0], auts[1], limit)
+		if err != nil {
+			return nil, err
+		}
+		out.CompositionBound = cb.String()
+	}
+	return out, nil
+}
+
+// outcomes renders a distribution as rows sorted by probability descending,
+// key ascending — the canonical presentation order of the CLI tools.
+func outcomes(d *measure.Dist[string]) []SimOutcome {
+	keys := d.Support()
+	out := make([]SimOutcome, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, SimOutcome{Key: k, P: d.P(k)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P > out[j].P
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// SchemaByName builds a scheduler schema from its CLI/HTTP name.
+func SchemaByName(name string, templates [][]string) (sched.Schema, error) {
+	switch name {
+	case "", "oblivious":
+		return &sched.ObliviousSchema{}, nil
+	case "basic":
+		return sched.BasicSchema{}, nil
+	case "priority":
+		if len(templates) == 0 {
+			return nil, fmt.Errorf("engine: priority schema needs at least one template")
+		}
+		return &sched.PrefixPrioritySchema{Templates: templates}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown schema %q", name)
+	}
+}
+
+// InsightByName builds an insight function from its CLI/HTTP name:
+// trace | accept:<action> | print:<prefix>.
+func InsightByName(name string) (insight.Insight, error) {
+	switch {
+	case name == "" || name == "trace":
+		return insight.Trace(), nil
+	case strings.HasPrefix(name, "accept:"):
+		return insight.Accept(psioa.Action(strings.TrimPrefix(name, "accept:"))), nil
+	case strings.HasPrefix(name, "print:"):
+		return insight.Print(strings.TrimPrefix(name, "print:")), nil
+	default:
+		return insight.Insight{}, fmt.Errorf("engine: unknown insight %q", name)
+	}
+}
+
+// SchedByName builds a scheduler for w from its CLI/HTTP name.
+func SchedByName(w psioa.PSIOA, name string, order []string, bound int) (sched.Scheduler, error) {
+	acts := make([]psioa.Action, 0, len(order))
+	for _, o := range order {
+		acts = append(acts, psioa.Action(strings.TrimSpace(o)))
+	}
+	switch name {
+	case "", "greedy":
+		return &sched.Greedy{A: w, Bound: bound, LocalOnly: true}, nil
+	case "random":
+		return &sched.Random{A: w, Bound: bound, LocalOnly: true}, nil
+	case "priority":
+		tmpl := make([]string, len(acts))
+		for i, a := range acts {
+			tmpl[i] = string(a)
+		}
+		ss, err := (&sched.PrefixPrioritySchema{Templates: [][]string{tmpl}}).Enumerate(w, bound)
+		if err != nil {
+			return nil, err
+		}
+		return ss[0], nil
+	case "sequence":
+		return &sched.Sequence{A: w, Acts: acts, LocalOnly: true}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown scheduler %q", name)
+	}
+}

@@ -1,0 +1,130 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestPoolMapRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := engine.NewPool(workers)
+		const n = 100
+		var counts [n]int32
+		if err := p.Map(context.Background(), n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestPoolMapNilPoolSequential(t *testing.T) {
+	var p *engine.Pool
+	if got := p.Workers(); got != 1 {
+		t.Errorf("nil pool Workers = %d", got)
+	}
+	ran := 0
+	boom := errors.New("boom")
+	err := p.Map(context.Background(), 10, func(i int) error {
+		ran++
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	// Sequential execution stops at the first error: indices 4..9 never run.
+	if ran != 4 {
+		t.Errorf("ran %d tasks, want 4", ran)
+	}
+}
+
+func TestPoolMapLowestIndexError(t *testing.T) {
+	// Whatever interleaving the pool produces, the reported error must be
+	// the lowest-index one — the error a sequential run would return.
+	p := engine.NewPool(4)
+	for round := 0; round < 20; round++ {
+		err := p.Map(context.Background(), 32, func(i int) error {
+			if i == 5 || i == 6 || i == 20 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 5 failed" {
+			t.Fatalf("round %d: err = %v, want task 5's error", round, err)
+		}
+	}
+}
+
+func TestPoolMapCancellation(t *testing.T) {
+	p := engine.NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var launched int32
+	block := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Map(ctx, 1000, func(i int) error {
+			atomic.AddInt32(&launched, 1)
+			<-block
+			return nil
+		})
+	}()
+	cancel()
+	close(block)
+	err := <-done
+	if launched == 1000 {
+		t.Skip("all tasks launched before cancellation took effect")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPoolMapCompletedBeforeCancelIsClean(t *testing.T) {
+	// Cancelling after every task has been launched and completed must not
+	// retroactively fail the map.
+	p := engine.NewPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := p.Map(ctx, 50, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+}
+
+func TestPoolConcurrentMaps(t *testing.T) {
+	// Many concurrent Map calls share one worker budget; run under -race
+	// this also checks the pool's internal accounting.
+	p := engine.NewPool(4)
+	var wg sync.WaitGroup
+	var total int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Map(context.Background(), 25, func(i int) error {
+				atomic.AddInt64(&total, 1)
+				return nil
+			}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if total != 8*25 {
+		t.Errorf("total tasks = %d, want %d", total, 8*25)
+	}
+}

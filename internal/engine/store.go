@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Job lifecycle states.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Observability instruments for the store.
+var (
+	cJobsSubmitted = obs.C("engine.jobs.submitted")
+	cJobsCompleted = obs.C("engine.jobs.completed")
+	cJobsErrored   = obs.C("engine.jobs.errored")
+	gJobsRunning   = obs.G("engine.jobs.running")
+)
+
+// JobRecord is the stored state of a submitted job. Records returned by the
+// store are copies; mutating them does not affect the store.
+type JobRecord struct {
+	ID        string    `json:"id"`
+	Kind      string    `json:"kind"`
+	Status    string    `json:"status"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
+	Result    *Result   `json:"result,omitempty"`
+	Err       string    `json:"error,omitempty"`
+}
+
+// Store tracks submitted jobs and runs them asynchronously on a Runner. It
+// is safe for concurrent use; the runner's pool bounds actual parallelism,
+// so submitting many jobs at once queues them for worker slots rather than
+// oversubscribing the process.
+type Store struct {
+	mu      sync.Mutex
+	seq     int
+	running int
+	jobs    map[string]*JobRecord
+	done    map[string]chan struct{}
+}
+
+// NewStore returns an empty job store.
+func NewStore() *Store {
+	return &Store{
+		jobs: make(map[string]*JobRecord),
+		done: make(map[string]chan struct{}),
+	}
+}
+
+// Submit registers the job and starts it on the runner in a new goroutine,
+// returning the queued record immediately. The context governs the job's
+// whole run (the daemon passes its serve context so shutdown cancels
+// in-flight jobs).
+func (st *Store) Submit(ctx context.Context, r *Runner, job Job) *JobRecord {
+	st.mu.Lock()
+	st.seq++
+	id := fmt.Sprintf("j%04d", st.seq)
+	rec := &JobRecord{ID: id, Kind: job.Kind, Status: StatusQueued, Submitted: time.Now()}
+	st.jobs[id] = rec
+	ch := make(chan struct{})
+	st.done[id] = ch
+	queued := rec.clone()
+	st.mu.Unlock()
+	cJobsSubmitted.Inc()
+
+	go func() {
+		defer close(ch)
+		st.update(id, func(r *JobRecord) {
+			r.Status = StatusRunning
+			r.Started = time.Now()
+		})
+		st.addRunning(1)
+		res, err := r.Run(ctx, job)
+		st.addRunning(-1)
+		st.update(id, func(rec *JobRecord) {
+			rec.Finished = time.Now()
+			if err != nil {
+				rec.Status = StatusFailed
+				rec.Err = err.Error()
+				return
+			}
+			rec.Status = StatusDone
+			rec.Result = res
+		})
+		if err != nil {
+			cJobsErrored.Inc()
+		} else {
+			cJobsCompleted.Inc()
+		}
+	}()
+	return queued
+}
+
+// Get returns a copy of the record for id.
+func (st *Store) Get(id string) (*JobRecord, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rec, ok := st.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return rec.clone(), true
+}
+
+// List returns copies of all records, sorted by ID (= submission order).
+func (st *Store) List() []*JobRecord {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*JobRecord, 0, len(st.jobs))
+	for _, rec := range st.jobs {
+		out = append(out, rec.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Await blocks until the job finishes or the context expires, returning the
+// final record.
+func (st *Store) Await(ctx context.Context, id string) (*JobRecord, error) {
+	st.mu.Lock()
+	ch, ok := st.done[id]
+	st.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown job %q", id)
+	}
+	select {
+	case <-ch:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	rec, _ := st.Get(id)
+	return rec, nil
+}
+
+func (st *Store) addRunning(d int) {
+	st.mu.Lock()
+	st.running += d
+	gJobsRunning.Set(int64(st.running))
+	st.mu.Unlock()
+}
+
+func (st *Store) update(id string, fn func(*JobRecord)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if rec, ok := st.jobs[id]; ok {
+		fn(rec)
+	}
+}
+
+func (r *JobRecord) clone() *JobRecord {
+	c := *r
+	return &c
+}

@@ -1,0 +1,55 @@
+package experiments_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+)
+
+func TestE18(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E18 runs full secure-emulation checks")
+	}
+	tbl, err := experiments.E18EngineEquivalence()
+	checkTable(t, tbl, err)
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("E18 rows = %d, want sequential + memoized/pooled cold+warm + stress pair", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows[1:5] {
+		if row[5] != "true" {
+			t.Errorf("mode %s not identical to sequential: %v", row[0], row)
+		}
+	}
+	if !strings.Contains(tbl.Verdict, "cache hits") {
+		t.Errorf("verdict missing cache stats: %s", tbl.Verdict)
+	}
+}
+
+func TestAllParallelOrderAndVerdicts(t *testing.T) {
+	// Per-experiment correctness (and parallel-vs-sequential report
+	// identity) is covered by the individual TestE* cases and by E18
+	// itself; here we check the orchestration: the pooled suite returns
+	// every table in All's order with the expected verdicts.
+	if testing.Short() {
+		t.Skip("runs the full experiment suite")
+	}
+	ids, _ := experiments.Runners()
+	par, err := experiments.AllParallel(context.Background(), engine.NewPool(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(ids) {
+		t.Fatalf("parallel suite returned %d tables, want %d", len(par), len(ids))
+	}
+	for i, tbl := range par {
+		if tbl.ID != ids[i] {
+			t.Errorf("order differs at %d: %s vs %s", i, tbl.ID, ids[i])
+		}
+		if !tbl.Pass() && tbl.ID != "E10" {
+			t.Errorf("%s failed under the pool: %s", tbl.ID, tbl.Verdict)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction experiment suite E1–E17
+// Package experiments implements the reproduction experiment suite E1–E18
 // (see DESIGN.md §4 and EXPERIMENTS.md). The paper is a brief announcement
 // with no empirical section, so each experiment validates one of its
 // lemmas/theorems on calibrated instances and reports the measured
@@ -1003,6 +1003,7 @@ func Runners() (ids []string, byID map[string]func() (*Table, error)) {
 		{"E10", E10Scaling}, {"E11", E11DynamicEmulation}, {"E12", E12Commitment},
 		{"E13", E13CreationMonotonicity}, {"E14", E14CoinFlipping}, {"E15", E15FamilyEmulation},
 		{"E16", E16SchedulingRole}, {"E17", E17SamplingConvergence},
+		{"E18", E18EngineEquivalence},
 	}
 	byID = make(map[string]func() (*Table, error), len(entries))
 	for _, e := range entries {

@@ -282,7 +282,7 @@ func Equal[T comparable](d, e *Dist[T]) bool {
 // Two schedulers σ, σ′ are S^{≤ε}_{E,f}-balanced iff
 // BalancedSup(f-dist(σ), f-dist(σ′)) ≤ ε.
 func BalancedSup[T comparable](d, e *Dist[T]) float64 {
-	pos, neg := 0.0, 0.0
+	var pos, neg []float64
 	seen := make(map[T]bool, len(d.w)+len(e.w))
 	for x := range d.w {
 		seen[x] = true
@@ -293,12 +293,25 @@ func BalancedSup[T comparable](d, e *Dist[T]) float64 {
 	for x := range seen {
 		diff := e.w[x] - d.w[x]
 		if diff > 0 {
-			pos += diff
-		} else {
-			neg -= diff
+			pos = append(pos, diff)
+		} else if diff < 0 {
+			neg = append(neg, -diff)
 		}
 	}
-	return math.Max(pos, neg)
+	return math.Max(sumSorted(pos), sumSorted(neg))
+}
+
+// sumSorted adds the terms in sorted order, so the result depends only on
+// the multiset of terms and never on map-iteration order. Distances are part
+// of reports that must be byte-identical between sequential and parallel
+// runs (internal/engine), and float addition is not associative.
+func sumSorted(terms []float64) float64 {
+	sort.Float64s(terms)
+	s := 0.0
+	for _, t := range terms {
+		s += t
+	}
+	return s
 }
 
 // TVDistance returns the total variation distance
@@ -306,7 +319,7 @@ func BalancedSup[T comparable](d, e *Dist[T]) float64 {
 // for sub-probability measures they can differ, which is why the framework
 // uses BalancedSup (the paper's Def 3.6) for the implementation relation.
 func TVDistance[T comparable](d, e *Dist[T]) float64 {
-	sum := 0.0
+	var terms []float64
 	seen := make(map[T]bool, len(d.w)+len(e.w))
 	for x := range d.w {
 		seen[x] = true
@@ -315,9 +328,11 @@ func TVDistance[T comparable](d, e *Dist[T]) float64 {
 		seen[x] = true
 	}
 	for x := range seen {
-		sum += math.Abs(d.w[x] - e.w[x])
+		if diff := math.Abs(d.w[x] - e.w[x]); diff > 0 {
+			terms = append(terms, diff)
+		}
 	}
-	return sum / 2
+	return sumSorted(terms) / 2
 }
 
 // Sample draws one element from d using u ∈ [0,1). If u lands in the halting

@@ -1,0 +1,47 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/testaut"
+)
+
+// TestMeasureDepthZero pins the depth-0 semantics: the measure is the Dirac
+// measure on the empty execution with Total() == 1, whatever the scheduler
+// would have chosen (it must not even be consulted).
+func TestMeasureDepthZero(t *testing.T) {
+	c := testaut.Coin("c", 0.5)
+	greedy := &sched.Greedy{A: c, Bound: 10, LocalOnly: true}
+	em, err := sched.Measure(c, greedy, 0)
+	if err != nil {
+		t.Fatalf("Measure depth 0: %v", err)
+	}
+	if got := em.Total(); got != 1 {
+		t.Errorf("Total() = %v, want exactly 1", got)
+	}
+	if em.Len() != 1 {
+		t.Errorf("Len() = %d, want 1 (the empty execution)", em.Len())
+	}
+	root := psioa.NewFrag(c.Start())
+	if p := em.P(root); p != 1 {
+		t.Errorf("P(empty execution) = %v, want 1", p)
+	}
+	if em.MaxLen() != 0 {
+		t.Errorf("MaxLen() = %d, want 0", em.MaxLen())
+	}
+
+	// The fast path must not call the scheduler at all: a scheduler that
+	// panics when consulted goes through cleanly at depth 0.
+	panicky := &sched.FuncSched{ID: "panicky", Fn: func(*psioa.Frag) *sched.Choice {
+		panic("scheduler consulted at depth 0")
+	}}
+	em, err = sched.Measure(c, panicky, 0)
+	if err != nil {
+		t.Fatalf("Measure depth 0 with panicky scheduler: %v", err)
+	}
+	if got := em.Total(); got != 1 {
+		t.Errorf("panicky Total() = %v, want 1", got)
+	}
+}

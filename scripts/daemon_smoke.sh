@@ -1,0 +1,45 @@
+#!/bin/sh
+# daemon_smoke.sh — end-to-end smoke test of the dsed daemon: build it,
+# start it on a scratch port, run an implementation check twice over HTTP
+# (the second must be served from the memoization cache), and fetch the
+# metrics snapshot. Fails if any request does not return 200 or if the
+# second check produced no cache hits.
+set -eu
+
+PORT="${DSED_PORT:-18432}"
+BASE="http://127.0.0.1:$PORT"
+BIN="${TMPDIR:-/tmp}/dsed-smoke.$$"
+
+go build -o "$BIN" ./cmd/dsed
+
+"$BIN" -addr "127.0.0.1:$PORT" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null; rm -f "$BIN"' EXIT
+
+# Wait for the daemon to come up.
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "daemon-smoke: dsed did not come up on $BASE" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+BODY='{"left":"coin:biased:x:0.625","right":"coin:fair:x","envs":["coin:env:x"],"eps":0.125,"q1":3}'
+
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/check" -d "$BODY")
+[ "$code" = "200" ] || { echo "daemon-smoke: first check returned $code" >&2; exit 1; }
+
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/check" -d "$BODY")
+[ "$code" = "200" ] || { echo "daemon-smoke: second check returned $code" >&2; exit 1; }
+
+metrics=$(curl -sf "$BASE/v1/metrics") || { echo "daemon-smoke: metrics fetch failed" >&2; exit 1; }
+hits=$(printf '%s' "$metrics" | sed -n 's/.*"engine\.cache\.hits": *\([0-9][0-9]*\).*/\1/p' | head -n1)
+if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+    echo "daemon-smoke: no cache hits after identical re-check (hits=${hits:-absent})" >&2
+    exit 1
+fi
+
+echo "daemon-smoke: ok (cache hits: $hits)"
