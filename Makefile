@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench daemon-smoke check clean
+.PHONY: build test race vet bench bench-json bench-smoke daemon-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -17,15 +17,31 @@ vet:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
+# bench-json runs the full experiment suite and records machine-readable
+# results (id, verdict, pass, elapsed_us, table rows — one JSON object per
+# line). Compare two recordings with scripts/bench_compare.sh; see
+# docs/PERFORMANCE.md.
+bench-json:
+	$(GO) run ./cmd/dsebench -json BENCH_3.json
+
+# bench-smoke is the short-mode wiring for check: one fast experiment
+# through the -json path, self-compared through bench_compare.sh, so the
+# recording and comparison tooling cannot rot.
+bench-smoke:
+	$(GO) run ./cmd/dsebench -only E1 -json .bench_smoke.json >/dev/null
+	sh scripts/bench_compare.sh .bench_smoke.json .bench_smoke.json
+	rm -f .bench_smoke.json
+
 # daemon-smoke starts dsed on a scratch port and runs a check through the
 # HTTP API twice, asserting the second run hits the memoization cache.
 daemon-smoke:
 	sh scripts/daemon_smoke.sh
 
 # check is the tier-1 gate plus static analysis, the race-sensitive
-# packages, and the daemon end-to-end smoke; run before every commit.
-check: build vet test race daemon-smoke
+# packages, the bench tooling smoke, and the daemon end-to-end smoke; run
+# before every commit.
+check: build vet test race bench-smoke daemon-smoke
 
 clean:
 	$(GO) clean ./...
-	rm -f *.test cpu.prof mem.prof trace.jsonl metrics.json
+	rm -f *.test cpu.prof mem.prof trace.jsonl metrics.json .bench_smoke.json

@@ -351,6 +351,137 @@ func BenchmarkExplore(b *testing.B) {
 	}
 }
 
+// BenchmarkMeasureDeep measures a deep, nearly-linear scheduler-tree
+// expansion (Counter chain, execution depth 257): the regime where
+// per-step fragment copying would be quadratic in the depth.
+func BenchmarkMeasureDeep(b *testing.B) {
+	c := testaut.Counter("c", 256)
+	acts := make([]psioa.Action, 0, 257)
+	for i := 0; i < 256; i++ {
+		acts = append(acts, "tick")
+	}
+	acts = append(acts, "done_c")
+	s := &sched.Sequence{A: c, Acts: acts}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		em, err := sched.Measure(c, s, 260)
+		if err != nil || em.MaxLen() != 257 {
+			b.Fatalf("%v maxlen=%d", err, em.MaxLen())
+		}
+	}
+}
+
+// BenchmarkMeasureDeepBranching measures ε_σ expansion of a reflecting
+// random walk whose tree is both deep and wide.
+func BenchmarkMeasureDeepBranching(b *testing.B) {
+	w := testaut.RandomWalk("w", 10, 0.5)
+	s := &sched.Greedy{A: w, Bound: 16, LocalOnly: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Measure(w, s, 18); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSampleImageMany measures Monte-Carlo image estimation: 1000
+// depth-64 walks per iteration, the SampleImage hot path.
+func BenchmarkSampleImageMany(b *testing.B) {
+	w := testaut.RandomWalk("w", 32, 0.5)
+	s := &sched.Greedy{A: w, Bound: 64, LocalOnly: true}
+	stream := rng.New(7)
+	traceOf := func(f *psioa.Frag) string { return f.TraceKey(w) }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.SampleImage(w, s, stream, 66, 1000, traceOf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFragExtendKey measures building a depth-512 fragment one step at
+// a time, keying every prefix (the Measure inner loop's fragment work).
+func BenchmarkFragExtendKey(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := psioa.NewFrag("q0")
+		for j := 0; j < 512; j++ {
+			f = f.Extend("a", psioa.State(fmt.Sprintf("q%d", j+1)))
+			_ = f.Key()
+		}
+	}
+}
+
+// BenchmarkFragIsPrefixOf measures the prefix check between a depth-256
+// fragment and its depth-512 extension.
+func BenchmarkFragIsPrefixOf(b *testing.B) {
+	f := psioa.NewFrag("q0")
+	var half *psioa.Frag
+	for j := 0; j < 512; j++ {
+		f = f.Extend("a", psioa.State(fmt.Sprintf("q%d", j+1)))
+		if j == 255 {
+			half = f
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !half.IsPrefixOf(f) {
+			b.Fatal("prefix check failed")
+		}
+	}
+}
+
+// BenchmarkConeLookup measures cone-mass queries against a branching
+// execution measure (one query per prefix depth).
+func BenchmarkConeLookup(b *testing.B) {
+	w := testaut.RandomWalk("w", 8, 0.5)
+	s := &sched.Greedy{A: w, Bound: 12, LocalOnly: true}
+	em, err := sched.Measure(w, s, 14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alpha := psioa.NewFrag(w.Start()).Extend("step_w", "x1").Extend("step_w", "x2")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if em.Cone(alpha) <= 0 {
+			b.Fatal("cone mass vanished")
+		}
+	}
+}
+
+// BenchmarkExploreWarm measures repeated reachability analysis of one
+// composed system (warm signature/transition caches), the pattern of
+// Validate + ActsUniverse + fingerprinting over a shared automaton.
+func BenchmarkExploreWarm(b *testing.B) {
+	w := psioa.MustCompose(channel.Env("x", 1), channel.Real("x"), channel.Eavesdropper("x"))
+	if _, err := psioa.Explore(w, 100000); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := psioa.Explore(w, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistSample measures repeated draws from one 64-point
+// distribution (the transition-sampling inner loop of Sample).
+func BenchmarkDistSample(b *testing.B) {
+	m := make(map[string]float64, 64)
+	for i := 0; i < 64; i++ {
+		m[fmt.Sprintf("x%02d", i)] = 1.0 / 64
+	}
+	d := measure.MustFromMap(m)
+	stream := rng.New(11)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.Sample(stream.Float64()); !ok {
+			b.Fatal("probability measure failed to sample")
+		}
+	}
+}
+
 // BenchmarkBalancedSup measures the Def 3.6 distance on 1k-point supports.
 func BenchmarkBalancedSup(b *testing.B) {
 	x := make(map[string]float64, 1000)

@@ -23,13 +23,16 @@ const (
 	esc = '\\'
 )
 
+// emptyTuple is the sentinel encoding of the zero-length tuple.
+const emptyTuple = "()"
+
 // EncodeTuple encodes an ordered sequence of strings into a single string.
 // The encoding is injective over [][]string: EncodeTuple(a) == EncodeTuple(b)
 // implies len(a) == len(b) and a[i] == b[i] for all i. The empty tuple
 // encodes to "()" to keep it distinct from the singleton empty string.
 func EncodeTuple(parts []string) string {
 	if len(parts) == 0 {
-		return "()"
+		return emptyTuple
 	}
 	var b strings.Builder
 	// Reserve room for the common case of no escapes.
@@ -42,13 +45,50 @@ func EncodeTuple(parts []string) string {
 		if i > 0 {
 			b.WriteByte(sep)
 		}
-		for j := 0; j < len(p); j++ {
-			c := p[j]
-			if c == sep || c == esc {
-				b.WriteByte(esc)
-			}
-			b.WriteByte(c)
+		appendEscaped(&b, p)
+	}
+	return b.String()
+}
+
+// appendEscaped writes one component with sep/esc escaping. A component
+// that is exactly the empty-tuple sentinel is written escape-prefixed so a
+// singleton ("()") never collides with the encoding of the empty tuple;
+// the decoder needs no special case since escaped bytes pass through
+// verbatim.
+func appendEscaped(b *strings.Builder, p string) {
+	if p == emptyTuple {
+		b.WriteByte(esc)
+		b.WriteByte('(')
+		b.WriteByte(esc)
+		b.WriteByte(')')
+		return
+	}
+	for j := 0; j < len(p); j++ {
+		c := p[j]
+		if c == sep || c == esc {
+			b.WriteByte(esc)
 		}
+		b.WriteByte(c)
+	}
+}
+
+// AppendToTuple extends an existing encoding of a non-empty tuple with
+// further components, in one pass over the new components only:
+// AppendToTuple(EncodeTuple(xs), ys...) == EncodeTuple(append(xs, ys...))
+// whenever xs is non-empty. It is the incremental form of EncodeTuple used
+// by persistent structures (execution fragments) whose keys grow one step
+// at a time from a cached parent key.
+func AppendToTuple(enc string, parts ...string) string {
+	var b strings.Builder
+	n := len(enc) + len(parts)
+	for _, p := range parts {
+		n += len(p)
+	}
+	b.Grow(n)
+	b.WriteString(enc)
+	for _, p := range parts {
+		b.WriteByte(sep)
+		appendEscaped(&b, p)
 	}
 	return b.String()
 }
@@ -56,7 +96,7 @@ func EncodeTuple(parts []string) string {
 // DecodeTuple reverses EncodeTuple. It returns an error if s is not a valid
 // tuple encoding (dangling escape).
 func DecodeTuple(s string) ([]string, error) {
-	if s == "()" {
+	if s == emptyTuple {
 		return nil, nil
 	}
 	parts := []string{}

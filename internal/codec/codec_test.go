@@ -191,3 +191,59 @@ func TestBitLen(t *testing.T) {
 		t.Errorf("BitLen(\"\") = %d, want 0", got)
 	}
 }
+
+func TestAppendToTuple(t *testing.T) {
+	cases := []struct{ base, extra []string }{
+		{[]string{"a"}, []string{"b"}},
+		{[]string{"a", "b"}, []string{"c", "d"}},
+		{[]string{"q|0"}, []string{"a\\x", "q1"}},
+		{[]string{""}, []string{""}},
+		{[]string{"|", "\\"}, []string{"|\\|", "()"}},
+		{[]string{"x"}, nil},
+	}
+	for _, c := range cases {
+		got := AppendToTuple(EncodeTuple(c.base), c.extra...)
+		want := EncodeTuple(append(append([]string(nil), c.base...), c.extra...))
+		if got != want {
+			t.Errorf("AppendToTuple(%v, %v) = %q, want %q", c.base, c.extra, got, want)
+		}
+	}
+}
+
+func TestAppendToTupleQuick(t *testing.T) {
+	prop := func(base []string, extra []string) bool {
+		if len(base) == 0 {
+			// The incremental form is only specified for non-empty prefixes:
+			// EncodeTuple(nil) is the sentinel "()", which must not be
+			// extended in place.
+			return true
+		}
+		got := AppendToTuple(EncodeTuple(base), extra...)
+		want := EncodeTuple(append(append([]string(nil), base...), extra...))
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeTupleSentinelComponent(t *testing.T) {
+	// A singleton component equal to the empty-tuple sentinel must not
+	// collide with the empty tuple, and must round-trip.
+	if EncodeTuple([]string{"()"}) == EncodeTuple(nil) {
+		t.Fatal("singleton \"()\" collides with the empty tuple")
+	}
+	for _, in := range [][]string{{"()"}, {"()", "x"}, {"x", "()"}, {"()", "()"}} {
+		out, err := DecodeTuple(EncodeTuple(in))
+		if err != nil {
+			t.Fatalf("DecodeTuple: %v", err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip %v -> %q -> %v", in, EncodeTuple(in), out)
+		}
+	}
+	// The incremental form must agree on sentinel components too.
+	if AppendToTuple(EncodeTuple([]string{"()"}), "()") != EncodeTuple([]string{"()", "()"}) {
+		t.Error("AppendToTuple disagrees with EncodeTuple on sentinel components")
+	}
+}

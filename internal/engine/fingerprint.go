@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 	"hash/fnv"
-	"sort"
 	"strconv"
 
 	"repro/internal/obs"
@@ -55,12 +54,14 @@ func Fingerprint(a psioa.PSIOA, limit int) (string, error) {
 				wr(string(act))
 			}
 		}
-		for _, act := range sig.All().Sorted() {
+		for _, act := range psioa.SortedAll(sig) {
 			wr("t")
 			wr(string(act))
 			d := a.Trans(q, act)
-			succs := d.Support()
-			sortStates(succs)
+			// Lexicographic successor order, shared with the transition
+			// measure's cached sorted view instead of copied and re-sorted
+			// per call.
+			succs := d.SortedSupport()
 			for _, q2 := range succs {
 				wr(string(q2))
 				wr(strconv.FormatFloat(d.P(q2), 'g', -1, 64))
@@ -74,8 +75,4 @@ func Fingerprint(a psioa.PSIOA, limit int) (string, error) {
 		fp += "!trunc"
 	}
 	return fp, nil
-}
-
-func sortStates(qs []psioa.State) {
-	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
 }

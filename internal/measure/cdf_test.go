@@ -1,0 +1,117 @@
+package measure
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestSortedSupport(t *testing.T) {
+	d := New[string]()
+	d.Add("b", 0.25)
+	d.Add("a", 0.5)
+	d.Add("c", 0.125)
+	ss := d.SortedSupport()
+	if !sort.StringsAreSorted(ss) || len(ss) != 3 {
+		t.Fatalf("SortedSupport = %v", ss)
+	}
+	// The view is cached: repeated calls return the same backing slice.
+	if &ss[0] != &d.SortedSupport()[0] {
+		t.Error("SortedSupport rebuilt despite no mutation")
+	}
+}
+
+func TestCDFInvalidatedByAdd(t *testing.T) {
+	d := New[string]()
+	d.Add("a", 0.5)
+	d.Add("b", 0.25)
+	if got := d.Total(); got != 0.75 {
+		t.Fatalf("Total = %v", got)
+	}
+	// Mutating after the CDF is built must invalidate it: totals, sorted
+	// support, and sampling all see the new point.
+	d.Add("c", 0.25)
+	if got := d.Total(); got != 1.0 {
+		t.Errorf("Total after Add = %v, want 1", got)
+	}
+	if ss := d.SortedSupport(); len(ss) != 3 || ss[2] != "c" {
+		t.Errorf("SortedSupport after Add = %v", ss)
+	}
+	if x, ok := d.Sample(0.999); !ok || x != "c" {
+		t.Errorf("Sample(0.999) = %v, %v", x, ok)
+	}
+}
+
+func TestSampleBoundaries(t *testing.T) {
+	// Sorted order a(0.5), b(0.25), c(0.25); prefix sums 0.5, 0.75, 1.0.
+	// Sample returns the first element whose cumulative mass exceeds u, so
+	// boundary values select the next element — the same convention as the
+	// linear scan it replaced.
+	d := New[string]()
+	d.Add("c", 0.25)
+	d.Add("a", 0.5)
+	d.Add("b", 0.25)
+	cases := []struct {
+		u    float64
+		want string
+	}{
+		{0, "a"}, {0.49, "a"}, {0.5, "b"}, {0.74, "b"}, {0.75, "c"}, {0.999, "c"},
+	}
+	for _, c := range cases {
+		got, ok := d.Sample(c.u)
+		if !ok || got != c.want {
+			t.Errorf("Sample(%v) = %v, %v; want %v", c.u, got, ok, c.want)
+		}
+	}
+	// Mass beyond the total fails (sub-probability halting convention).
+	sub := New[string]()
+	sub.Add("x", 0.5)
+	if _, ok := sub.Sample(0.75); ok {
+		t.Error("Sample beyond total mass should fail")
+	}
+}
+
+func TestTotalSortedOrderDeterministic(t *testing.T) {
+	// Two distributions with identical content built in different insertion
+	// orders must report bitwise-equal totals: summation follows the sorted
+	// support, never map or insertion order. The masses are deliberately
+	// non-dyadic so addition order is observable in the low bits.
+	masses := map[string]float64{"p": 0.1, "q": 0.2, "r": 0.3, "s": 0.15, "t": 0.25}
+	fwd, rev := New[string](), New[string]()
+	keys := []string{"p", "q", "r", "s", "t"}
+	for _, k := range keys {
+		fwd.Add(k, masses[k])
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		rev.Add(keys[i], masses[keys[i]])
+	}
+	ft, rt := fwd.Total(), rev.Total()
+	if ft != rt {
+		t.Errorf("insertion order leaked into Total: %v vs %v", ft, rt)
+	}
+	want := 0.0
+	for _, k := range keys {
+		// keys is already sorted; this is the specified summation order.
+		want += masses[k]
+	}
+	if ft != want {
+		t.Errorf("Total = %v, sorted-order sum = %v", ft, want)
+	}
+	for i := 0; i < 50; i++ {
+		if fwd.Total() != ft {
+			t.Fatal("Total not reproducible across calls")
+		}
+	}
+}
+
+func TestIntSortedSupportUsesNumericRepr(t *testing.T) {
+	// Non-string kinds sort by their fmt representation — pin that so the
+	// reflection fast path stays consistent with the fmt.Sprint fallback.
+	d := New[int]()
+	d.Add(10, 0.25)
+	d.Add(2, 0.5)
+	d.Add(1, 0.25)
+	ss := d.SortedSupport()
+	if len(ss) != 3 || ss[0] != 1 || ss[1] != 10 || ss[2] != 2 {
+		t.Errorf("SortedSupport = %v, want lexicographic by repr [1 10 2]", ss)
+	}
+}

@@ -11,7 +11,9 @@ package measure
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
+	"sync/atomic"
 )
 
 // Eps is the tolerance used when comparing probabilities and totals. Exact
@@ -26,6 +28,97 @@ const Eps = 1e-9
 // deficit 1 − |η| is the halting probability.
 type Dist[T comparable] struct {
 	w map[T]float64
+	// cdf is the lazily built sorted-support + prefix-sum view, invalidated
+	// by Add. Publishing it through an atomic pointer keeps read-only
+	// sharing safe (engine-cached distributions are sampled concurrently);
+	// concurrent builds are idempotent, so the last write winning is fine.
+	cdf atomic.Pointer[distCDF[T]]
+}
+
+// distCDF caches the support in canonical sorted order together with the
+// left-to-right prefix sums of the weights. Sorted order is by the
+// fmt-formatted element (plain lexicographic order for the string-kinded
+// instantiations used throughout), matching the historical Sample order.
+// cum[len-1] is the total mass summed in sorted order, so every consumer of
+// the cache sums deterministically.
+type distCDF[T comparable] struct {
+	keys  []T
+	reprs []string
+	cum   []float64
+}
+
+// view returns the current CDF cache, building it on first use after a
+// mutation.
+func (d *Dist[T]) view() *distCDF[T] {
+	if c := d.cdf.Load(); c != nil {
+		return c
+	}
+	c := buildCDF(d.w)
+	d.cdf.Store(c)
+	return c
+}
+
+func buildCDF[T comparable](w map[T]float64) *distCDF[T] {
+	c := &distCDF[T]{keys: make([]T, 0, len(w))}
+	for x := range w {
+		c.keys = append(c.keys, x)
+	}
+	if len(c.keys) > 1 {
+		if ks, ok := any(c.keys).([]string); ok {
+			sort.Strings(ks)
+			c.reprs = ks
+		} else {
+			c.reprs = make([]string, len(c.keys))
+			for i, k := range c.keys {
+				c.reprs[i] = reprOf(k)
+			}
+			sort.Sort(&byRepr[T]{reprs: c.reprs, keys: c.keys})
+		}
+	} else if ks, ok := any(c.keys).([]string); ok {
+		c.reprs = ks
+	}
+	c.cum = make([]float64, len(c.keys))
+	acc := 0.0
+	for i, k := range c.keys {
+		acc += w[k]
+		c.cum[i] = acc
+	}
+	return c
+}
+
+// reprOf returns the canonical sort representation of an element: the
+// fmt-formatted value, with a reflection fast path for string-kinded types
+// (psioa.Action, psioa.State, …) that avoids fmt's allocation.
+func reprOf[T comparable](x T) string {
+	if s, ok := any(x).(string); ok {
+		return s
+	}
+	if rv := reflect.ValueOf(x); rv.Kind() == reflect.String {
+		return rv.String()
+	}
+	return fmt.Sprint(x)
+}
+
+// byRepr sorts keys and reprs in lockstep by repr.
+type byRepr[T comparable] struct {
+	reprs []string
+	keys  []T
+}
+
+func (b *byRepr[T]) Len() int           { return len(b.keys) }
+func (b *byRepr[T]) Less(i, j int) bool { return b.reprs[i] < b.reprs[j] }
+func (b *byRepr[T]) Swap(i, j int) {
+	b.reprs[i], b.reprs[j] = b.reprs[j], b.reprs[i]
+	b.keys[i], b.keys[j] = b.keys[j], b.keys[i]
+}
+
+// repr returns the sort representation of key i, tolerating the missing
+// reprs slice of single-element string caches.
+func (c *distCDF[T]) repr(i int) string {
+	if c.reprs != nil {
+		return c.reprs[i]
+	}
+	return reprOf(c.keys[i])
 }
 
 // New returns an empty (zero-mass) distribution.
@@ -100,15 +193,20 @@ func (d *Dist[T]) Add(x T, p float64) {
 		return
 	}
 	d.w[x] += p
+	if d.cdf.Load() != nil {
+		d.cdf.Store(nil)
+	}
 }
 
-// Total returns the total mass Σ_x d(x).
+// Total returns the total mass Σ_x d(x), summed in the cache's canonical
+// sorted order so the float result is independent of map iteration order
+// (totals feed reports that must be byte-identical run to run).
 func (d *Dist[T]) Total() float64 {
-	t := 0.0
-	for _, p := range d.w {
-		t += p
+	c := d.view()
+	if n := len(c.cum); n > 0 {
+		return c.cum[n-1]
 	}
-	return t
+	return 0
 }
 
 // IsProb reports whether d is a probability measure (total mass 1 ± Eps).
@@ -138,6 +236,12 @@ func (d *Dist[T]) Support() []T {
 	}
 	return s
 }
+
+// SortedSupport returns supp(d) in canonical sorted order (the Sample
+// order). The slice is shared with the distribution's internal cache and
+// MUST NOT be modified by the caller; it stays valid until the next
+// mutation. Use Support for an owned copy.
+func (d *Dist[T]) SortedSupport() []T { return d.view().keys }
 
 // ForEach calls f for every (element, mass) pair with positive mass.
 func (d *Dist[T]) ForEach(f func(x T, p float64)) {
@@ -283,22 +387,51 @@ func Equal[T comparable](d, e *Dist[T]) bool {
 // BalancedSup(f-dist(σ), f-dist(σ′)) ≤ ε.
 func BalancedSup[T comparable](d, e *Dist[T]) float64 {
 	var pos, neg []float64
-	seen := make(map[T]bool, len(d.w)+len(e.w))
-	for x := range d.w {
-		seen[x] = true
-	}
-	for x := range e.w {
-		seen[x] = true
-	}
-	for x := range seen {
-		diff := e.w[x] - d.w[x]
+	forEachDiff(d, e, func(dw, ew float64) {
+		diff := ew - dw
 		if diff > 0 {
 			pos = append(pos, diff)
 		} else if diff < 0 {
 			neg = append(neg, -diff)
 		}
-	}
+	})
 	return math.Max(sumSorted(pos), sumSorted(neg))
+}
+
+// forEachDiff visits the weight pairs (d(x), e(x)) over the union of the
+// two supports by merging the cached sorted orders — no union set is
+// materialised and the visit order is deterministic. Elements whose sort
+// representations collide without being equal are visited singly.
+func forEachDiff[T comparable](d, e *Dist[T], visit func(dw, ew float64)) {
+	dc, ec := d.view(), e.view()
+	i, j := 0, 0
+	for i < len(dc.keys) || j < len(ec.keys) {
+		switch {
+		case j >= len(ec.keys):
+			visit(d.w[dc.keys[i]], 0)
+			i++
+		case i >= len(dc.keys):
+			visit(0, e.w[ec.keys[j]])
+			j++
+		default:
+			ri, rj := dc.repr(i), ec.repr(j)
+			switch {
+			case ri < rj:
+				visit(d.w[dc.keys[i]], 0)
+				i++
+			case rj < ri:
+				visit(0, e.w[ec.keys[j]])
+				j++
+			case dc.keys[i] == ec.keys[j]:
+				visit(d.w[dc.keys[i]], e.w[ec.keys[j]])
+				i++
+				j++
+			default:
+				visit(d.w[dc.keys[i]], 0)
+				i++
+			}
+		}
+	}
 }
 
 // sumSorted adds the terms in sorted order, so the result depends only on
@@ -320,37 +453,26 @@ func sumSorted(terms []float64) float64 {
 // uses BalancedSup (the paper's Def 3.6) for the implementation relation.
 func TVDistance[T comparable](d, e *Dist[T]) float64 {
 	var terms []float64
-	seen := make(map[T]bool, len(d.w)+len(e.w))
-	for x := range d.w {
-		seen[x] = true
-	}
-	for x := range e.w {
-		seen[x] = true
-	}
-	for x := range seen {
-		if diff := math.Abs(d.w[x] - e.w[x]); diff > 0 {
+	forEachDiff(d, e, func(dw, ew float64) {
+		if diff := math.Abs(dw - ew); diff > 0 {
 			terms = append(terms, diff)
 		}
-	}
+	})
 	return sumSorted(terms) / 2
 }
 
 // Sample draws one element from d using u ∈ [0,1). If u lands in the halting
-// deficit of a sub-probability measure, ok is false. Iteration order over
-// map entries is randomized by the runtime, so sampling is made deterministic
-// by walking the support in sorted order of fmt-formatted keys; for the
-// string instantiations used throughout this is plain lexicographic order.
+// deficit of a sub-probability measure, ok is false. Sampling is
+// deterministic: elements are laid out in the cache's canonical sorted
+// order (lexicographic for the string instantiations used throughout) and
+// the draw is a binary search over the cached prefix sums, so repeated
+// draws from one distribution cost O(log n) each instead of an O(n log n)
+// sort per draw.
 func (d *Dist[T]) Sample(u float64) (x T, ok bool) {
-	keys := d.Support()
-	sort.Slice(keys, func(i, j int) bool {
-		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
-	})
-	acc := 0.0
-	for _, k := range keys {
-		acc += d.w[k]
-		if u < acc {
-			return k, true
-		}
+	c := d.view()
+	i := sort.Search(len(c.cum), func(i int) bool { return c.cum[i] > u })
+	if i < len(c.cum) {
+		return c.keys[i], true
 	}
 	var zero T
 	return zero, false
@@ -358,12 +480,9 @@ func (d *Dist[T]) Sample(u float64) (x T, ok bool) {
 
 // String renders the distribution deterministically for diagnostics.
 func (d *Dist[T]) String() string {
-	keys := d.Support()
-	sort.Slice(keys, func(i, j int) bool {
-		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
-	})
+	c := d.view()
 	s := "{"
-	for i, k := range keys {
+	for i, k := range c.keys {
 		if i > 0 {
 			s += ", "
 		}

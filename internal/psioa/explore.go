@@ -63,16 +63,19 @@ func Explore(a PSIOA, limit int) (*Exploration, error) {
 			tr.Emit(obs.Event{Kind: obs.KindStateFound, Name: a.ID(), Attr: string(q), N: int64(len(ex.States))})
 		}
 		// Deterministic discovery order: sorted actions, sorted successors.
-		// This makes truncated explorations reproducible run to run.
-		for _, act := range sig.All().Sorted() {
+		// This makes truncated explorations reproducible run to run. Both
+		// sorts are memoized: SortedAll per signature identity (states
+		// sharing a signature share the sort) and SortedSupport inside the
+		// transition measure (automata cache transition measures per
+		// (state, action), so revisits — Validate, ActsUniverse, repeated
+		// explorations of a shared automaton — skip the sort entirely).
+		for _, act := range SortedAll(sig) {
 			ex.Acts.Add(act)
 			nTrans++
 			if traced {
 				tr.Emit(obs.Event{Kind: obs.KindTransition, Name: a.ID(), Attr: string(act)})
 			}
-			succs := a.Trans(q, act).Support()
-			sort.Slice(succs, func(i, j int) bool { return succs[i] < succs[j] })
-			for _, q2 := range succs {
+			for _, q2 := range a.Trans(q, act).SortedSupport() {
 				if !seen[q2] {
 					if len(seen) >= limit {
 						ex.Truncated = true

@@ -57,7 +57,7 @@ func Steps(a PSIOA, q State, act Action) []State {
 
 // Enabled reports whether act ∈ sig(A)(q)^.
 func Enabled(a PSIOA, q State, act Action) bool {
-	return a.Sig(q).All().Has(act)
+	return a.Sig(q).Has(act)
 }
 
 // disabledPanic is the uniform panic for stepping a disabled action.

@@ -1,0 +1,106 @@
+package psioa
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Sorted-action memoization for the exploration and scheduling hot paths.
+//
+// Explore, Greedy/Random schedulers and the engine fingerprint all need
+// "the actions of sig(A)(q), sorted" at every visited state, and the naive
+// rendering (sig.All().Sorted()) allocates two union sets and re-sorts on
+// every call. Signatures, however, are stable values in this codebase:
+// Table automata store one Signature per state and Product/wrapper automata
+// cache the composed Signature per state, so the identity of a signature's
+// underlying sets is a faithful memo key. Automata that build fresh
+// signature maps per call only lose the memoization (every lookup misses
+// and falls back to the sort), never correctness — distinct maps with equal
+// contents sort to equal slices.
+//
+// The memo is process-global and bounded: when it exceeds sortMemoLimit
+// entries it is dropped wholesale (entries are recomputable), which keeps
+// long-running daemons that churn through many automata from leaking.
+
+// sigIdent identifies a signature by the identity of its component sets.
+type sigIdent struct {
+	in, out, inner uintptr
+	local          bool
+}
+
+const sortMemoLimit = 1 << 16
+
+// memoEntry pins the signature's sets alongside the sorted slice. The
+// pinning is what makes identity keying sound: while an entry is live its
+// sets cannot be collected, so no later allocation can reuse their
+// addresses and a pointer match always identifies the very same sets.
+type memoEntry struct {
+	in, out, inner ActionSet
+	acts           []Action
+}
+
+var (
+	sortMemoMu sync.RWMutex
+	sortMemo   = make(map[sigIdent]memoEntry)
+)
+
+func setPtr(s ActionSet) uintptr {
+	if s == nil {
+		return 0
+	}
+	return reflect.ValueOf(s).Pointer()
+}
+
+func sortedMemoized(sig Signature, local bool) []Action {
+	key := sigIdent{in: setPtr(sig.In), out: setPtr(sig.Out), inner: setPtr(sig.Int), local: local}
+	sortMemoMu.RLock()
+	ent, ok := sortMemo[key]
+	sortMemoMu.RUnlock()
+	if ok {
+		return ent.acts
+	}
+	n := len(sig.Out) + len(sig.Int)
+	if !local {
+		n += len(sig.In)
+	}
+	acts := make([]Action, 0, n)
+	if !local {
+		for a := range sig.In {
+			acts = append(acts, a)
+		}
+	}
+	for a := range sig.Out {
+		acts = append(acts, a)
+	}
+	for a := range sig.Int {
+		acts = append(acts, a)
+	}
+	sort.Slice(acts, func(i, j int) bool { return acts[i] < acts[j] })
+	// Valid signatures are disjoint; compress duplicates anyway so invalid
+	// ones (checked later by Validate) still yield set semantics.
+	dedup := acts[:0]
+	for i, a := range acts {
+		if i == 0 || a != dedup[len(dedup)-1] {
+			dedup = append(dedup, a)
+		}
+	}
+	acts = dedup
+	sortMemoMu.Lock()
+	if len(sortMemo) >= sortMemoLimit {
+		sortMemo = make(map[sigIdent]memoEntry)
+	}
+	sortMemo[key] = memoEntry{in: sig.In, out: sig.Out, inner: sig.Int, acts: acts}
+	sortMemoMu.Unlock()
+	return acts
+}
+
+// SortedAll returns sig^ = in ∪ out ∪ int in lexicographic order, memoized
+// by the identity of the signature's sets. The returned slice is shared and
+// MUST NOT be modified; copy before sorting differently or appending.
+func SortedAll(sig Signature) []Action { return sortedMemoized(sig, false) }
+
+// SortedLocal returns the locally controlled actions out ∪ int in
+// lexicographic order, memoized like SortedAll. The returned slice is
+// shared and MUST NOT be modified.
+func SortedLocal(sig Signature) []Action { return sortedMemoized(sig, true) }

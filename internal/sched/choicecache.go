@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"sync"
+
+	"repro/internal/measure"
+	"repro/internal/psioa"
+)
+
+// Shared-choice caches for the simulation hot path.
+//
+// The deterministic schedulers (Greedy, Sequence, Priority) return a Dirac
+// choice on every step, and Random returns the uniform choice over the
+// memoized enabled-action slice of the current signature. Sample draws one
+// scheduler choice per executed action, so building a fresh distribution
+// (map, Dist, CDF) per step dominates sampling. Choices returned by
+// Scheduler.Choose are read-only by contract — every consumer in this
+// module only reads them (Measure, Sample, Mixture, FactorsThrough) — so
+// identical choices can be shared. Both caches are bounded and dropped
+// wholesale when full, like the psioa sort memo.
+
+const choiceCacheLimit = 1 << 16
+
+var (
+	diracMu      sync.RWMutex
+	diracChoices = make(map[psioa.Action]*Choice)
+)
+
+// diracChoice returns the shared Dirac choice on a. The result must be
+// treated as read-only.
+func diracChoice(a psioa.Action) *Choice {
+	diracMu.RLock()
+	c, ok := diracChoices[a]
+	diracMu.RUnlock()
+	if ok {
+		return c
+	}
+	c = measure.Dirac(a)
+	diracMu.Lock()
+	if len(diracChoices) >= choiceCacheLimit {
+		diracChoices = make(map[psioa.Action]*Choice)
+	}
+	diracChoices[a] = c
+	diracMu.Unlock()
+	return c
+}
+
+// uniformKey identifies an enabled-action slice by identity. The entry pins
+// the slice, so a live key's backing array can never be recycled for a
+// different slice (same soundness argument as the psioa sort memo).
+type uniformKey struct {
+	first *psioa.Action
+	n     int
+}
+
+type uniformEntry struct {
+	acts []psioa.Action
+	c    *Choice
+}
+
+var (
+	uniformMu      sync.RWMutex
+	uniformChoices = make(map[uniformKey]uniformEntry)
+)
+
+// uniformChoice returns the shared uniform choice over the non-empty acts
+// slice, which must be immutable (the sort-memo slices are). The result
+// must be treated as read-only.
+func uniformChoice(acts []psioa.Action) *Choice {
+	key := uniformKey{first: &acts[0], n: len(acts)}
+	uniformMu.RLock()
+	ent, ok := uniformChoices[key]
+	uniformMu.RUnlock()
+	if ok {
+		return ent.c
+	}
+	c := measure.Uniform(acts)
+	uniformMu.Lock()
+	if len(uniformChoices) >= choiceCacheLimit {
+		uniformChoices = make(map[uniformKey]uniformEntry)
+	}
+	uniformChoices[key] = uniformEntry{acts: acts, c: c}
+	uniformMu.Unlock()
+	return c
+}

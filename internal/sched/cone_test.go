@@ -1,0 +1,97 @@
+package sched_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/psioa"
+	"repro/internal/sched"
+	"repro/internal/testaut"
+)
+
+// bruteCone is the reference definition of ε_σ(C_α): a linear scan over the
+// support summing the mass of every halted execution extending α, in the
+// same sorted-support order the indexed implementation accumulates in, so
+// the comparison below can demand bitwise equality.
+func bruteCone(em *sched.ExecMeasure, alpha *psioa.Frag) float64 {
+	total := 0.0
+	em.ForEach(func(f *psioa.Frag, p float64) {
+		if alpha.IsPrefixOf(f) {
+			total += p
+		}
+	})
+	return total
+}
+
+func TestConeMatchesBruteForceOnBranchingAutomaton(t *testing.T) {
+	// Non-dyadic step probability so float addition order is observable:
+	// any divergence between the prefix-mass index and the reference scan
+	// shows up in the low bits.
+	w := testaut.RandomWalk("w", 6, 0.3)
+	em, err := sched.Measure(w, &sched.Greedy{A: w, Bound: 9}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	em.ForEachPrefix(func(alpha *psioa.Frag) {
+		n++
+		got := em.Cone(alpha)
+		want := bruteCone(em, alpha)
+		if got != want {
+			t.Errorf("Cone(%v) = %v, brute force = %v", alpha, got, want)
+		}
+	})
+	if n < 10 {
+		t.Fatalf("expected a branching expansion tree, visited only %d prefixes", n)
+	}
+	// The empty fragment's cone is the whole space.
+	root := psioa.NewFrag(w.Start())
+	if em.Cone(root) != em.Total() {
+		t.Errorf("Cone(root) = %v, Total = %v", em.Cone(root), em.Total())
+	}
+	// Rebuilt fragments (sharing no nodes with the expansion tree) must hit
+	// the same index entries: lookup is by injective key, not identity.
+	em.ForEachPrefix(func(alpha *psioa.Frag) {
+		re, err := psioa.FragFromKey(alpha.Key())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if em.Cone(re) != em.Cone(alpha) {
+			t.Errorf("rebuilt fragment %v disagrees with original", alpha)
+		}
+	})
+	// Fragments outside the expansion tree have measure-zero cones.
+	stray := psioa.NewFrag("nowhere").Extend("step_w", "x1")
+	if em.Cone(stray) != 0 {
+		t.Errorf("Cone(stray) = %v, want 0", em.Cone(stray))
+	}
+}
+
+func TestExecMeasureTotalDeterministic(t *testing.T) {
+	// Compose coins with non-dyadic biases: the halted masses are products
+	// of 0.3/0.7-style factors, so a map-order sum would differ in the low
+	// bits from run to run. The sorted-order sum must be reproducible and
+	// equal to an explicit sorted re-summation.
+	c0 := testaut.Coin("c0", 0.3)
+	c1 := testaut.Coin("c1", 0.7)
+	c2 := testaut.Coin("c2", 0.1)
+	sys := psioa.MustCompose(c0, c1, c2)
+	em, err := sched.Measure(sys, &sched.Random{A: sys, Bound: 6, LocalOnly: true}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	em.ForEach(func(_ *psioa.Frag, p float64) { want += p })
+	first := em.Total()
+	if first != want {
+		t.Errorf("Total() = %v, sorted re-summation = %v", first, want)
+	}
+	for i := 0; i < 50; i++ {
+		if em.Total() != first {
+			t.Fatal("Total() is not reproducible across calls")
+		}
+	}
+	if math.Abs(first-1) > 1e-9 {
+		t.Errorf("Total() = %v, want ≈1", first)
+	}
+}

@@ -1,0 +1,87 @@
+#!/bin/sh
+# bench_compare.sh OLD.json NEW.json
+#
+# Compares two `dsebench -json` outputs (one JSON object per line, fields
+# id/pass/elapsed_us among others) and fails when NEW regresses relative to
+# OLD: an experiment slower by more than 20%, a pass that turned into a
+# fail, or an experiment that disappeared. Rows below the noise floor
+# BENCH_COMPARE_MIN_US (default 1000 microseconds) in both files are
+# reported but never fail the comparison — their timings are dominated by
+# scheduling jitter.
+set -eu
+
+if [ $# -ne 2 ]; then
+	echo "usage: $0 OLD.json NEW.json" >&2
+	exit 2
+fi
+
+old=$1
+new=$2
+min=${BENCH_COMPARE_MIN_US:-1000}
+
+for f in "$old" "$new"; do
+	if [ ! -f "$f" ]; then
+		echo "bench_compare: no such file: $f" >&2
+		exit 2
+	fi
+done
+
+# Pull (id, pass, elapsed_us) out of each JSON line. Field extraction is
+# anchored on the exact `"key":` spellings encoding/json produces, so free
+# text in titles and verdicts cannot confuse it.
+extract() {
+	awk '
+	{
+		id = ""; pass = ""; us = ""
+		if (match($0, /"id":"[^"]*"/))          id   = substr($0, RSTART + 6, RLENGTH - 7)
+		if (match($0, /"pass":(true|false)/))   pass = substr($0, RSTART + 7, RLENGTH - 7)
+		if (match($0, /"elapsed_us":[0-9]+/))   us   = substr($0, RSTART + 13, RLENGTH - 13)
+		if (id != "" && us != "") print id, pass, us
+	}' "$1"
+}
+
+tmp_old=$(mktemp)
+tmp_new=$(mktemp)
+trap 'rm -f "$tmp_old" "$tmp_new"' EXIT
+
+extract "$old" >"$tmp_old"
+extract "$new" >"$tmp_new"
+
+if [ ! -s "$tmp_old" ]; then
+	echo "bench_compare: no benchmark rows found in $old" >&2
+	exit 2
+fi
+
+awk -v min="$min" '
+	NR == FNR { opass[$1] = $2; ous[$1] = $3; next }
+	{ npass[$1] = $2; nus[$1] = $3 }
+	END {
+		bad = 0
+		for (id in opass) {
+			if (!(id in nus)) {
+				printf "MISSING  %-4s present in old, absent in new\n", id
+				bad = 1
+				continue
+			}
+			if (opass[id] == "true" && npass[id] != "true") {
+				printf "FAILED   %-4s pass -> fail\n", id
+				bad = 1
+			}
+			o = ous[id] + 0
+			n = nus[id] + 0
+			if (o < min && n < min) {
+				printf "NOISE    %-4s %8dus -> %8dus (below %dus floor)\n", id, o, n, min
+				continue
+			}
+			if (o > 0 && n > o * 1.2) {
+				printf "REGRESS  %-4s %8dus -> %8dus (+%.1f%%)\n", id, o, n, (n / o - 1) * 100
+				bad = 1
+			} else {
+				printf "OK       %-4s %8dus -> %8dus\n", id, o, n
+			}
+		}
+		exit bad
+	}
+' "$tmp_old" "$tmp_new"
+
+echo "bench_compare: no regressions over 20% ($old -> $new)"
