@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-smoke daemon-smoke check clean
+.PHONY: build test race vet bench bench-json bench-smoke daemon-smoke chaos check clean
 
 build:
 	$(GO) build ./...
@@ -37,10 +37,18 @@ bench-smoke:
 daemon-smoke:
 	sh scripts/daemon_smoke.sh
 
+# chaos runs the fault-injected suite under the race detector: worker
+# panics, transient job faults, cache eviction, slow operations and queue
+# saturation, through both the engine and the daemon's HTTP surface. See
+# docs/ROBUSTNESS.md for the fault-point catalogue.
+chaos:
+	$(GO) test -race -run Chaos ./internal/engine/... ./cmd/dsed/...
+	$(GO) test -race ./internal/resilience/...
+
 # check is the tier-1 gate plus static analysis, the race-sensitive
-# packages, the bench tooling smoke, and the daemon end-to-end smoke; run
-# before every commit.
-check: build vet test race bench-smoke daemon-smoke
+# packages, the chaos suite, the bench tooling smoke, and the daemon
+# end-to-end smoke; run before every commit.
+check: build vet test race chaos bench-smoke daemon-smoke
 
 clean:
 	$(GO) clean ./...

@@ -24,6 +24,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 var ocli obs.CLI
@@ -32,11 +33,26 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (E1..E18)")
 	workers := flag.Int("workers", 1, "experiment parallelism (engine pool size; 1 = sequential)")
 	jsonOut := flag.String("json", "", "write machine-readable results (one JSON object per benchmark) to `file` (\"-\" for stdout)")
+	timeout := flag.Duration("timeout", 0, "abort after this wall-clock time (0 = no limit)")
+	budget := flag.Int64("budget", 0, "kernel transition budget before stopping (0 = unlimited)")
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
 	if err := ocli.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "dsebench:", err)
 		exit(2)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *budget > 0 || *timeout > 0 {
+		// Experiment kernels do not all receive the context, so the process
+		// default budget is what propagates the limits into their
+		// cancellation checkpoints.
+		resilience.SetDefaultBudget(resilience.NewBudget(0, *budget, *timeout))
 	}
 
 	_, runs := experiments.Runners()
@@ -61,7 +77,7 @@ func main() {
 	}
 
 	start := time.Now()
-	tables, err := experiments.AllParallel(context.Background(), engine.NewPool(*workers))
+	tables, err := experiments.AllParallel(ctx, engine.NewPool(*workers))
 	for _, t := range tables {
 		fmt.Println(t)
 	}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 type multiFlag []string
@@ -45,9 +46,23 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "memoization cache entries (0 = default)")
 	verbose := flag.Bool("v", false, "print every (environment, scheduler) pair")
+	timeout := flag.Duration("timeout", 0, "abort after this wall-clock time (0 = no limit)")
+	budget := flag.Int64("budget", 0, "kernel transition budget before stopping (0 = unlimited)")
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
 	fatal(ocli.Start())
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *budget > 0 || *timeout > 0 {
+		// The default budget makes the kernels' cancellation checkpoints
+		// enforce the limits even where a context is not threaded through.
+		resilience.SetDefaultBudget(resilience.NewBudget(0, *budget, *timeout))
+	}
 
 	if *left == "" || *right == "" || len(envs) == 0 {
 		fmt.Fprintln(os.Stderr, "dsecheck: need -left, -right and at least one -env")
@@ -68,7 +83,7 @@ func main() {
 	}
 
 	r := engine.NewRunner(engine.NewPool(*workers), engine.NewCache(*cacheSize))
-	rep, err := r.Check(context.Background(), &engine.CheckSpec{
+	rep, err := r.Check(ctx, &engine.CheckSpec{
 		Left:      *left,
 		Right:     *right,
 		Envs:      envs,

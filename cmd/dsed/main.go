@@ -12,7 +12,9 @@
 //	  "left": "coin:biased:x:0.625", "right": "coin:fair:x",
 //	  "envs": ["coin:env:x"], "eps": 0.125, "q1": 3}'
 //
-// See docs/ENGINE.md for the full API walkthrough.
+// See docs/ENGINE.md for the full API walkthrough and docs/ROBUSTNESS.md
+// for the hardening knobs (-queue, -breaker-k, -retries, -drain,
+// -budget-*).
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 var ocli obs.CLI
@@ -37,36 +40,68 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache-size", engine.DefaultCacheSize, "memoization cache entries")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-job timeout")
+	queue := flag.Int("queue", 64, "max async jobs in flight before shedding with 503 (0 = unbounded)")
+	breakerK := flag.Int("breaker-k", 3, "consecutive panics before a job fingerprint is quarantined")
+	retries := flag.Int("retries", 2, "retry attempts for transient job failures")
+	drain := flag.Duration("drain", 10*time.Second, "grace period for in-flight jobs on shutdown")
+	budgetStates := flag.Int64("budget-states", 0, "default per-job state budget (0 = unlimited)")
+	budgetTrans := flag.Int64("budget-transitions", 0, "default per-job transition budget (0 = unlimited)")
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
 	fatal(ocli.Start())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Jobs run under their own context, decoupled from the shutdown
+	// signal: on SIGTERM the listener closes and in-flight jobs get the
+	// drain grace period before jobCancel interrupts their kernels.
+	jobCtx, jobCancel := context.WithCancel(context.Background())
+	defer jobCancel()
 
+	store := engine.NewStoreWith(engine.StoreConfig{
+		QueueLimit: *queue,
+		Breaker:    resilience.NewBreaker(*breakerK),
+		Retry: resilience.Backoff{
+			Attempts: *retries + 1,
+			Base:     25 * time.Millisecond,
+			Cap:      2 * time.Second,
+			Jitter:   0.2,
+			Seed:     1,
+		},
+	})
 	srv := &server{
 		runner:  engine.NewRunner(engine.NewPool(*workers), engine.NewCache(*cacheSize)),
-		store:   engine.NewStore(),
+		store:   store,
 		timeout: *timeout,
-		ctx:     ctx,
+		budget:  budgetDefaults{states: *budgetStates, transitions: *budgetTrans},
+		ctx:     jobCtx,
 	}
 	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "dsed: listening on %s (workers=%d, cache=%d)\n",
-			*addr, srv.runner.Pool.Workers(), *cacheSize)
+		fmt.Fprintf(os.Stderr, "dsed: listening on %s (workers=%d, cache=%d, queue=%d)\n",
+			*addr, srv.runner.Pool.Workers(), *cacheSize, *queue)
 		errCh <- hs.ListenAndServe()
 	}()
 
 	select {
-	case <-ctx.Done():
-		// Graceful shutdown: stop accepting, drain in-flight requests.
+	case <-sigCtx.Done():
+		// Graceful shutdown: stop accepting, drain in-flight requests and
+		// async jobs, then cancel stragglers so their cancellation
+		// checkpoints terminate them.
 		fmt.Fprintln(os.Stderr, "dsed: shutting down")
-		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := hs.Shutdown(shCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "dsed: shutdown:", err)
+		}
+		if err := store.Drain(shCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "dsed: drain expired, cancelling in-flight jobs:", err)
+			jobCancel()
+			lastCtx, lastCancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer lastCancel()
+			store.Drain(lastCtx)
 		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {

@@ -3,18 +3,22 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // Observability instruments for the HTTP layer.
 var (
 	cHTTPRequests = obs.C("dsed.http.requests")
 	cHTTPErrors   = obs.C("dsed.http.errors")
+	cHTTPPanics   = obs.C("dsed.http.panics")
 )
 
 // server wires the engine's runner and job store to the HTTP API.
@@ -22,9 +26,18 @@ type server struct {
 	runner  *engine.Runner
 	store   *engine.Store
 	timeout time.Duration
-	// ctx is the daemon's serve context: async jobs detach from their
-	// request and run under it, so shutdown cancels them.
+	// budget is the default per-job work budget applied when a request
+	// does not set its own (zero fields = unlimited).
+	budget budgetDefaults
+	// ctx is the daemon's jobs context: async jobs detach from their
+	// request and run under it. It is separate from the shutdown signal
+	// so main can drain in-flight jobs first and cancel stragglers after.
 	ctx context.Context
+}
+
+// budgetDefaults carries the daemon-level -budget-* flag values.
+type budgetDefaults struct {
+	states, transitions, wallMS int64
 }
 
 // handler builds the daemon's route table:
@@ -36,6 +49,15 @@ type server struct {
 //	GET  /v1/jobs/{id}  — fetch one job record
 //	GET  /v1/metrics    — obs metrics snapshot (counters, gauges, histograms)
 //	GET  /healthz       — liveness probe
+//
+// Job routes accept query overrides: ?timeout_ms=, ?budget_states=,
+// ?budget_transitions=, ?budget_wall_ms= (the spec body schema is strict,
+// so per-request limits travel in the URL).
+//
+// The whole table is wrapped in a panic-recovery middleware: a handler
+// panic is answered with 500 instead of killing the connection — and the
+// breaker keeps counting panics per job fingerprint underneath, so a spec
+// that reliably panics is quarantined with 422 after K attempts.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/check", s.jobHandler(engine.KindCheck))
@@ -64,7 +86,20 @@ func (s *server) handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	return recovered(mux)
+}
+
+// recovered is the last-resort panic boundary of the HTTP layer.
+func recovered(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				cHTTPPanics.Inc()
+				httpError(w, http.StatusInternalServerError, fmt.Errorf("internal panic: %v", rec))
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
 }
 
 // jobHandler decodes the kind-specific spec from the request body and either
@@ -92,23 +127,92 @@ func (s *server) jobHandler(kind string) http.HandlerFunc {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad %s spec: %w", kind, err))
 			return
 		}
+		if err := applyOverrides(&job, r); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
 		if job.TimeoutMS <= 0 {
 			job.TimeoutMS = s.timeout.Milliseconds()
 		}
+		if job.BudgetStates <= 0 {
+			job.BudgetStates = s.budget.states
+		}
+		if job.BudgetTransitions <= 0 {
+			job.BudgetTransitions = s.budget.transitions
+		}
+		if job.BudgetWallMS <= 0 {
+			job.BudgetWallMS = s.budget.wallMS
+		}
 		if r.URL.Query().Get("async") == "1" {
 			// Detach from the request context: the job outlives the request
-			// and is bounded by the job timeout and the serve context.
-			rec := s.store.Submit(s.ctx, s.runner, job)
+			// and is bounded by the job timeout and the jobs context.
+			rec, err := s.store.Submit(s.ctx, s.runner, job)
+			if err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
 			writeJSON(w, http.StatusAccepted, rec)
 			return
 		}
-		res, err := s.runner.Run(r.Context(), job)
+		// The synchronous path shares the store's breaker: a quarantined
+		// spec is rejected up front, and every outcome is observed so the
+		// sync and async paths count panics against the same fingerprint.
+		fp := job.Fingerprint()
+		if err := s.store.Breaker().Allow(fp); err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		res, err := s.runner.RunSafe(r.Context(), job)
+		s.store.Breaker().Observe(fp, err)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, err)
+			httpError(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
 	}
+}
+
+// applyOverrides reads the per-request limit overrides from the query.
+func applyOverrides(job *engine.Job, r *http.Request) error {
+	for _, f := range []struct {
+		name string
+		dst  *int64
+	}{
+		{"timeout_ms", &job.TimeoutMS},
+		{"budget_states", &job.BudgetStates},
+		{"budget_transitions", &job.BudgetTransitions},
+		{"budget_wall_ms", &job.BudgetWallMS},
+	} {
+		raw := r.URL.Query().Get(f.name)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			return fmt.Errorf("bad %s %q", f.name, raw)
+		}
+		*f.dst = v
+	}
+	return nil
+}
+
+// statusFor maps resilience classifications to HTTP statuses: shed load is
+// 503 (retryable), deadlines and cancellations 504, quarantined specs and
+// ordinary job failures 422, recovered panics 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, resilience.ErrQueueFull):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, resilience.ErrDeadline), errors.Is(err, resilience.ErrCancelled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, resilience.ErrQuarantined):
+		return http.StatusUnprocessableEntity
+	}
+	var pe *resilience.PanicError
+	if errors.As(err, &pe) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusUnprocessableEntity
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -121,5 +225,12 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func httpError(w http.ResponseWriter, code int, err error) {
 	cHTTPErrors.Inc()
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	body := map[string]string{"error": err.Error()}
+	if class := resilience.Class(err); class != "" {
+		body["class"] = class
+	}
+	writeJSON(w, code, body)
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 type multiFlag []string
@@ -34,16 +35,28 @@ func main() {
 	var systems multiFlag
 	flag.Var(&systems, "sys", "system reference (repeatable)")
 	limit := flag.Int("limit", 100000, "reachability exploration limit")
+	timeout := flag.Duration("timeout", 0, "abort after this wall-clock time (0 = no limit)")
+	budget := flag.Int64("budget", 0, "kernel transition budget before stopping (0 = unlimited)")
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
 	fatal(ocli.Start())
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *budget > 0 || *timeout > 0 {
+		resilience.SetDefaultBudget(resilience.NewBudget(0, *budget, *timeout))
+	}
 
 	if len(systems) == 0 {
 		fmt.Fprintln(os.Stderr, "dsedesc: need at least one -sys")
 		exit(2)
 	}
 	r := engine.NewRunner(nil, engine.NewCache(0))
-	res, err := r.DescribeSystems(context.Background(), &engine.DescribeSpec{
+	res, err := r.DescribeSystems(ctx, &engine.DescribeSpec{
 		Systems: systems,
 		Limit:   *limit,
 	})

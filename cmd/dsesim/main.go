@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 type multiFlag []string
@@ -44,9 +45,21 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed for sampling")
 	insightName := flag.String("insight", "trace", "insight: trace | accept:<action> | print:<prefix>")
 	maxShow := flag.Int("show", 20, "max entries to print")
+	timeout := flag.Duration("timeout", 0, "abort after this wall-clock time (0 = no limit)")
+	budget := flag.Int64("budget", 0, "kernel transition budget before stopping (0 = unlimited)")
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
 	fatal(ocli.Start())
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *budget > 0 || *timeout > 0 {
+		resilience.SetDefaultBudget(resilience.NewBudget(0, *budget, *timeout))
+	}
 
 	if len(systems) == 0 {
 		fmt.Fprintln(os.Stderr, "dsesim: need at least one -sys")
@@ -58,7 +71,7 @@ func main() {
 	}
 
 	r := engine.NewRunner(nil, engine.NewCache(0))
-	res, err := r.Simulate(context.Background(), &engine.SimulateSpec{
+	res, err := r.Simulate(ctx, &engine.SimulateSpec{
 		Systems: systems,
 		Sched:   *schedName,
 		Order:   orderList,
@@ -69,6 +82,9 @@ func main() {
 	})
 	fatal(err)
 
+	if res.Partial {
+		fmt.Printf("PARTIAL result (budget exhausted: %s)\n", res.Degraded)
+	}
 	if res.Exact {
 		fmt.Printf("exact execution measure: %d executions, total mass %.6f, max length %d\n",
 			res.Executions, res.TotalMass, res.MaxLen)

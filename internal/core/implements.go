@@ -31,6 +31,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/obs"
 	"repro/internal/psioa"
+	"repro/internal/resilience"
 	"repro/internal/sched"
 )
 
@@ -63,9 +64,11 @@ type Executor interface {
 // Memo caches f-dist computations across checks, keyed by a canonical
 // fingerprint of the composed automaton plus the scheduler's name. The
 // returned distributions are shared and must be treated as read-only.
-// internal/engine.Cache is the standard implementation.
+// Implementations must honour ctx and b by threading them into the
+// underlying expansion and must never cache results computed under an
+// exhausted budget. internal/engine.Cache is the standard implementation.
 type Memo interface {
-	FDist(w psioa.PSIOA, s sched.Scheduler, f insight.Insight, maxDepth int) (*measure.Dist[string], error)
+	FDistCtx(ctx context.Context, w psioa.PSIOA, s sched.Scheduler, f insight.Insight, maxDepth int, b *resilience.Budget) (*measure.Dist[string], error)
 }
 
 // Options configures an implementation-relation check.
@@ -92,6 +95,11 @@ type Options struct {
 	Memo Memo
 	// Ctx cancels long-running checks. Nil means context.Background().
 	Ctx context.Context
+	// Budget bounds the total work of the check across all pairs (shared
+	// by every worker). A check cannot soundly report a verdict from a
+	// partial expansion, so an exhausted budget fails the check with an
+	// ErrBudgetExceeded-classified error. Nil means unbounded.
+	Budget *resilience.Budget
 }
 
 func (o Options) q2() int {
@@ -119,12 +127,13 @@ func (o Options) ctx() context.Context {
 	return context.Background()
 }
 
-// fdist computes f-dist through the memo when one is installed.
-func (o Options) fdist(w psioa.PSIOA, s sched.Scheduler) (*measure.Dist[string], error) {
+// fdist computes f-dist through the memo when one is installed, threading
+// the check's context and budget into the expansion.
+func (o Options) fdist(ctx context.Context, w psioa.PSIOA, s sched.Scheduler) (*measure.Dist[string], error) {
 	if o.Memo != nil {
-		return o.Memo.FDist(w, s, o.Insight, o.depth())
+		return o.Memo.FDistCtx(ctx, w, s, o.Insight, o.depth(), o.Budget)
 	}
-	return insight.FDist(w, s, o.Insight, o.depth())
+	return insight.FDistCtx(ctx, w, s, o.Insight, o.depth(), o.Budget)
 }
 
 // runTasks executes n tasks through the executor, or sequentially (stopping
@@ -134,7 +143,7 @@ func (o Options) runTasks(ctx context.Context, n int, fn func(i int) error) erro
 		return o.Exec.Map(ctx, n, fn)
 	}
 	for i := 0; i < n; i++ {
-		if err := ctx.Err(); err != nil {
+		if err := resilience.CtxError(ctx); err != nil {
 			return err
 		}
 		if err := fn(i); err != nil {
@@ -300,7 +309,7 @@ func Implements(a, b psioa.PSIOA, opt Options) (*Report, error) {
 	err = opt.runTasks(ctx, len(rrefs), func(i int) error {
 		r := rrefs[i]
 		s2 := r.w.right[r.j]
-		d2, err := opt.fdist(r.w.wb, s2)
+		d2, err := opt.fdist(ctx, r.w.wb, s2)
 		if err != nil {
 			return fmt.Errorf("core: right scheduler %s: %w", s2.Name(), err)
 		}
@@ -326,13 +335,20 @@ func Implements(a, b psioa.PSIOA, opt Options) (*Report, error) {
 	results := make([]PairResult, len(lrefs))
 	err = opt.runTasks(ctx, len(lrefs), func(i int) error {
 		t := lrefs[i]
-		d1, err := opt.fdist(t.w.wa, t.s1)
+		d1, err := opt.fdist(ctx, t.w.wa, t.s1)
 		if err != nil {
 			return fmt.Errorf("core: left scheduler %s: %w", t.s1.Name(), err)
 		}
+		// The inner sweep over right-side perceptions can dwarf the
+		// expansions when the schema is large; poll the same checkpoint
+		// machinery (without charging state/transition work).
+		ck := resilience.NewCheckpoint(ctx, opt.Budget)
 		best := math.Inf(1)
 		bestName := ""
 		for _, r := range t.w.rds {
+			if err := ck.Step(0, 0); err != nil {
+				return fmt.Errorf("core: matching scheduler %s: %w", t.s1.Name(), err)
+			}
 			if d := insight.Distance(d1, r.dist); d < best {
 				best, bestName = d, r.name
 			}
@@ -403,11 +419,11 @@ func ImplementsWitness(a, b psioa.PSIOA, w Witness, opt Options) (*Report, error
 	results := make([]PairResult, len(tasks))
 	err = opt.runTasks(ctx, len(tasks), func(i int) error {
 		t := tasks[i]
-		d1, err := opt.fdist(t.w.wa, t.s1)
+		d1, err := opt.fdist(ctx, t.w.wa, t.s1)
 		if err != nil {
 			return err
 		}
-		d2, err := opt.fdist(t.w.wb, t.s2)
+		d2, err := opt.fdist(ctx, t.w.wb, t.s2)
 		if err != nil {
 			return err
 		}

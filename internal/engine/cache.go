@@ -2,6 +2,7 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	"reflect"
 	"strconv"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/obs"
 	"repro/internal/psioa"
+	"repro/internal/resilience"
 	"repro/internal/sched"
 )
 
@@ -90,11 +92,21 @@ func (c *Cache) Len() int {
 }
 
 // Get returns the cached value for key, marking it most recently used.
+// Under an armed cache.evict fault point a present entry is dropped and
+// reported as a miss, forcing recomputation downstream.
 func (c *Cache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
+		cCacheMisses.Inc()
+		return nil, false
+	}
+	if resilience.Fire(resilience.FaultCacheEvict) {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		gCacheSize.Set(int64(len(c.items)))
+		cCacheEvictions.Inc()
 		cCacheMisses.Inc()
 		return nil, false
 	}
@@ -155,8 +167,15 @@ func (c *Cache) Fingerprint(a psioa.PSIOA) (string, error) {
 // structurally identical automata return the cached Exploration. A nil
 // cache passes through.
 func (c *Cache) Explore(a psioa.PSIOA, limit int) (*psioa.Exploration, error) {
+	return c.ExploreCtx(context.Background(), a, limit, nil)
+}
+
+// ExploreCtx is Explore threading cancellation and a budget into the
+// exploration. Results computed under an exhausted budget are partial and
+// are returned to the caller but never cached.
+func (c *Cache) ExploreCtx(ctx context.Context, a psioa.PSIOA, limit int, b *resilience.Budget) (*psioa.Exploration, error) {
 	if c == nil {
-		return psioa.Explore(a, limit)
+		return psioa.ExploreCtx(ctx, a, limit, b)
 	}
 	fp, err := c.Fingerprint(a)
 	if err != nil {
@@ -166,9 +185,9 @@ func (c *Cache) Explore(a psioa.PSIOA, limit int) (*psioa.Exploration, error) {
 	if v, ok := c.Get(key); ok {
 		return v.(*psioa.Exploration), nil
 	}
-	ex, err := psioa.Explore(a, limit)
+	ex, err := psioa.ExploreCtx(ctx, a, limit, b)
 	if err != nil {
-		return nil, err
+		return ex, err
 	}
 	c.Put(key, ex)
 	return ex, nil
@@ -178,8 +197,15 @@ func (c *Cache) Explore(a psioa.PSIOA, limit int) (*psioa.Exploration, error) {
 // (automaton, scheduler, depth) triple is expanded once and reused across
 // checks. A nil cache passes through.
 func (c *Cache) Measure(a psioa.PSIOA, s sched.Scheduler, maxDepth int) (*sched.ExecMeasure, error) {
+	return c.MeasureCtx(context.Background(), a, s, maxDepth, nil)
+}
+
+// MeasureCtx is Measure threading cancellation and a budget into the
+// expansion. A budget-bounded partial measure is returned with its error
+// but never cached: only complete expansions are reused.
+func (c *Cache) MeasureCtx(ctx context.Context, a psioa.PSIOA, s sched.Scheduler, maxDepth int, b *resilience.Budget) (*sched.ExecMeasure, error) {
 	if c == nil {
-		return sched.Measure(a, s, maxDepth)
+		return sched.MeasureCtx(ctx, a, s, maxDepth, b)
 	}
 	fp, err := c.Fingerprint(a)
 	if err != nil {
@@ -189,9 +215,9 @@ func (c *Cache) Measure(a psioa.PSIOA, s sched.Scheduler, maxDepth int) (*sched.
 	if v, ok := c.Get(key); ok {
 		return v.(*sched.ExecMeasure), nil
 	}
-	em, err := sched.Measure(a, s, maxDepth)
+	em, err := sched.MeasureCtx(ctx, a, s, maxDepth, b)
 	if err != nil {
-		return nil, err
+		return em, err
 	}
 	c.Put(key, em)
 	return em, nil
@@ -199,11 +225,18 @@ func (c *Cache) Measure(a psioa.PSIOA, s sched.Scheduler, maxDepth int) (*sched.
 
 // FDist is a memoizing insight.FDist, the hot path of Implements: the image
 // distribution is cached per (automaton, scheduler, insight, depth), and a
-// miss reuses a cached execution measure when one exists. Implements
-// core.Memo. A nil cache passes through.
+// miss reuses a cached execution measure when one exists. A nil cache
+// passes through.
 func (c *Cache) FDist(w psioa.PSIOA, s sched.Scheduler, f insight.Insight, maxDepth int) (*measure.Dist[string], error) {
+	return c.FDistCtx(context.Background(), w, s, f, maxDepth, nil)
+}
+
+// FDistCtx is FDist threading cancellation and a budget into the underlying
+// expansion; it implements core.Memo. Interrupted computations — including
+// budget-bounded partial measures — are never cached.
+func (c *Cache) FDistCtx(ctx context.Context, w psioa.PSIOA, s sched.Scheduler, f insight.Insight, maxDepth int, b *resilience.Budget) (*measure.Dist[string], error) {
 	if c == nil {
-		return insight.FDist(w, s, f, maxDepth)
+		return insight.FDistCtx(ctx, w, s, f, maxDepth, b)
 	}
 	fp, err := c.Fingerprint(w)
 	if err != nil {
@@ -213,7 +246,7 @@ func (c *Cache) FDist(w psioa.PSIOA, s sched.Scheduler, f insight.Insight, maxDe
 	if v, ok := c.Get(key); ok {
 		return v.(*measure.Dist[string]), nil
 	}
-	em, err := c.Measure(w, s, maxDepth)
+	em, err := c.MeasureCtx(ctx, w, s, maxDepth, b)
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,9 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pca"
 	"repro/internal/psioa"
+	"repro/internal/resilience"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/spec"
@@ -40,6 +43,28 @@ type Job struct {
 	Describe *DescribeSpec `json:"describe,omitempty"`
 	// TimeoutMS bounds the job's run time (0 = caller's default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// BudgetStates / BudgetTransitions / BudgetWallMS bound the total
+	// kernel work of the job (shared across all its workers); zero means
+	// unlimited. Simulate jobs degrade gracefully to a partial result;
+	// check jobs fail with an ErrBudgetExceeded-classified error (a
+	// verdict from a partial expansion would be unsound).
+	BudgetStates      int64 `json:"budget_states,omitempty"`
+	BudgetTransitions int64 `json:"budget_transitions,omitempty"`
+	BudgetWallMS      int64 `json:"budget_wall_ms,omitempty"`
+}
+
+// Fingerprint canonically identifies the job's workload — kind, spec and
+// budget, but not the timeout — for the circuit breaker: two submissions
+// of the same spec share a quarantine state regardless of deadline.
+func (j Job) Fingerprint() string {
+	j.TimeoutMS = 0
+	b, err := json.Marshal(j)
+	if err != nil {
+		return "job-unmarshalable"
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("job-%016x", h.Sum64())
 }
 
 // CheckSpec describes an Implements run over spec references (see
@@ -87,7 +112,9 @@ type SimOutcome struct {
 
 // SimulateResult is the outcome of a simulate job. For exact runs the
 // measure statistics are filled; for sampled runs Executions is the sample
-// count and TotalMass 1.
+// count and TotalMass 1. When a work budget ran out mid-expansion the
+// result is the exact sub-probability prefix expanded so far, flagged
+// Partial with the budget diagnostics in Degraded.
 type SimulateResult struct {
 	Exact      bool         `json:"exact"`
 	InsightID  string       `json:"insight_id"`
@@ -95,6 +122,8 @@ type SimulateResult struct {
 	TotalMass  float64      `json:"total_mass"`
 	MaxLen     int          `json:"max_len"`
 	Outcomes   []SimOutcome `json:"outcomes"`
+	Partial    bool         `json:"partial,omitempty"`
+	Degraded   string       `json:"degraded,omitempty"`
 }
 
 // SystemDescription is the profile of one system in a describe job.
@@ -161,9 +190,10 @@ func (r *Runner) resolveAll(refs []string) ([]psioa.PSIOA, error) {
 	return out, nil
 }
 
-// options assembles core.Options wired to the runner's pool and cache.
-func (r *Runner) options(ctx context.Context) core.Options {
-	opt := core.Options{Ctx: ctx}
+// options assembles core.Options wired to the runner's pool, cache and the
+// job's budget.
+func (r *Runner) options(ctx context.Context, b *resilience.Budget) core.Options {
+	opt := core.Options{Ctx: ctx, Budget: b}
 	if r.Pool != nil {
 		opt.Exec = r.Pool
 	}
@@ -173,8 +203,20 @@ func (r *Runner) options(ctx context.Context) core.Options {
 	return opt
 }
 
+// budget materialises the job's work budget; nil when the job sets none.
+// The budget is created per Run (its wall clock starts now) and shared by
+// every worker the job fans out to.
+func (j Job) budget() *resilience.Budget {
+	if j.BudgetStates <= 0 && j.BudgetTransitions <= 0 && j.BudgetWallMS <= 0 {
+		return nil
+	}
+	return resilience.NewBudget(j.BudgetStates, j.BudgetTransitions, time.Duration(j.BudgetWallMS)*time.Millisecond)
+}
+
 // Run executes one job. The context bounds the run; Job.TimeoutMS, when
-// set, tightens it further.
+// set, tightens it further. Errors are classified: context termination
+// surfaces as resilience.ErrDeadline/ErrCancelled, budget exhaustion (on
+// jobs that cannot degrade) as resilience.ErrBudgetExceeded.
 func (r *Runner) Run(ctx context.Context, job Job) (*Result, error) {
 	if job.TimeoutMS > 0 {
 		var cancel context.CancelFunc
@@ -184,18 +226,31 @@ func (r *Runner) Run(ctx context.Context, job Job) (*Result, error) {
 	cJobsRun.Inc()
 	res, err := r.dispatch(ctx, job)
 	if err != nil {
+		err = resilience.WrapCtx(err)
 		cJobsFailed.Inc()
 	}
 	return res, err
 }
 
+// RunSafe is Run behind a panic isolation boundary: a panicking job
+// becomes a *resilience.PanicError instead of killing the caller. The
+// daemon's handlers and the async store run jobs through it.
+func (r *Runner) RunSafe(ctx context.Context, job Job) (res *Result, err error) {
+	defer resilience.RecoverTo(&err)
+	return r.Run(ctx, job)
+}
+
 func (r *Runner) dispatch(ctx context.Context, job Job) (*Result, error) {
+	if err := resilience.FireErr(resilience.FaultJobTransient); err != nil {
+		return nil, err
+	}
+	bud := job.budget()
 	switch job.Kind {
 	case KindCheck:
 		if job.Check == nil {
 			return nil, fmt.Errorf("engine: check job without check spec")
 		}
-		rep, err := r.Check(ctx, job.Check)
+		rep, err := r.check(ctx, job.Check, bud)
 		if err != nil {
 			return nil, err
 		}
@@ -204,7 +259,7 @@ func (r *Runner) dispatch(ctx context.Context, job Job) (*Result, error) {
 		if job.Simulate == nil {
 			return nil, fmt.Errorf("engine: simulate job without simulate spec")
 		}
-		sr, err := r.Simulate(ctx, job.Simulate)
+		sr, err := r.simulate(ctx, job.Simulate, bud)
 		if err != nil {
 			return nil, err
 		}
@@ -213,7 +268,7 @@ func (r *Runner) dispatch(ctx context.Context, job Job) (*Result, error) {
 		if job.Describe == nil {
 			return nil, fmt.Errorf("engine: describe job without describe spec")
 		}
-		dr, err := r.DescribeSystems(ctx, job.Describe)
+		dr, err := r.describeSystems(ctx, job.Describe, bud)
 		if err != nil {
 			return nil, err
 		}
@@ -226,6 +281,10 @@ func (r *Runner) dispatch(ctx context.Context, job Job) (*Result, error) {
 // Check resolves the spec and runs core.Implements on the runner's pool and
 // cache. The report is identical to a sequential, uncached run.
 func (r *Runner) Check(ctx context.Context, cs *CheckSpec) (*core.Report, error) {
+	return r.check(ctx, cs, nil)
+}
+
+func (r *Runner) check(ctx context.Context, cs *CheckSpec, bud *resilience.Budget) (*core.Report, error) {
 	if cs.Left == "" || cs.Right == "" || len(cs.Envs) == 0 {
 		return nil, fmt.Errorf("engine: check needs left, right and at least one env")
 	}
@@ -249,7 +308,7 @@ func (r *Runner) Check(ctx context.Context, cs *CheckSpec) (*core.Report, error)
 	if err != nil {
 		return nil, err
 	}
-	opt := r.options(ctx)
+	opt := r.options(ctx, bud)
 	opt.Envs = envs
 	opt.Schema = schema
 	opt.Insight = ins
@@ -265,10 +324,14 @@ func (r *Runner) Check(ctx context.Context, cs *CheckSpec) (*core.Report, error)
 // Monte-Carlo estimate when Samples > 0), reusing cached measures for
 // repeated exact requests.
 func (r *Runner) Simulate(ctx context.Context, ss *SimulateSpec) (*SimulateResult, error) {
+	return r.simulate(ctx, ss, nil)
+}
+
+func (r *Runner) simulate(ctx context.Context, ss *SimulateSpec, bud *resilience.Budget) (*SimulateResult, error) {
 	if len(ss.Systems) == 0 {
 		return nil, fmt.Errorf("engine: simulate needs at least one system")
 	}
-	if err := ctx.Err(); err != nil {
+	if err := resilience.CtxError(ctx); err != nil {
 		return nil, err
 	}
 	auts, err := r.resolveAll(ss.Systems)
@@ -296,9 +359,9 @@ func (r *Runner) Simulate(ctx context.Context, ss *SimulateSpec) (*SimulateResul
 	}
 	if ss.Samples > 0 {
 		stream := rng.New(ss.Seed)
-		d, err := sched.SampleImage(w, s, stream, depth, ss.Samples, func(fr *psioa.Frag) string {
+		d, err := sched.SampleImageCtx(ctx, w, s, stream, depth, ss.Samples, func(fr *psioa.Frag) string {
 			return ins.Apply(w, fr)
-		})
+		}, bud)
 		if err != nil {
 			return nil, err
 		}
@@ -310,11 +373,30 @@ func (r *Runner) Simulate(ctx context.Context, ss *SimulateSpec) (*SimulateResul
 			Outcomes:   outcomes(d),
 		}, nil
 	}
-	em, err := r.Cache.Measure(w, s, depth)
+	em, err := r.Cache.MeasureCtx(ctx, w, s, depth, bud)
 	if err != nil {
-		return nil, err
+		// Graceful degradation: a budget-bounded stop leaves an exact
+		// sub-probability prefix of ε_σ, which is a usable answer for a
+		// simulation (unlike for a check). Report it flagged Partial
+		// rather than failing the job. The partial measure is never
+		// cached (see Cache.MeasureCtx), so later unconstrained runs
+		// recompute in full.
+		if em == nil || !resilience.IsBudget(err) {
+			return nil, err
+		}
+		img := em.Image(func(fr *psioa.Frag) string { return ins.Apply(w, fr) })
+		return &SimulateResult{
+			Exact:      true,
+			InsightID:  ins.ID,
+			Executions: em.Len(),
+			TotalMass:  em.Total(),
+			MaxLen:     em.MaxLen(),
+			Outcomes:   outcomes(img),
+			Partial:    true,
+			Degraded:   err.Error(),
+		}, nil
 	}
-	img, err := r.Cache.FDist(w, s, ins, depth)
+	img, err := r.Cache.FDistCtx(ctx, w, s, ins, depth, bud)
 	if err != nil {
 		return nil, err
 	}
@@ -332,6 +414,10 @@ func (r *Runner) Simulate(ctx context.Context, ss *SimulateSpec) (*SimulateResul
 // per-query work, reachability), plus the Lemma 4.3 composition bound when
 // exactly two systems are given.
 func (r *Runner) DescribeSystems(ctx context.Context, ds *DescribeSpec) (*DescribeResult, error) {
+	return r.describeSystems(ctx, ds, nil)
+}
+
+func (r *Runner) describeSystems(ctx context.Context, ds *DescribeSpec, bud *resilience.Budget) (*DescribeResult, error) {
 	if len(ds.Systems) == 0 {
 		return nil, fmt.Errorf("engine: describe needs at least one system")
 	}
@@ -342,7 +428,7 @@ func (r *Runner) DescribeSystems(ctx context.Context, ds *DescribeSpec) (*Descri
 	out := &DescribeResult{}
 	auts := make([]psioa.PSIOA, 0, len(ds.Systems))
 	for _, ref := range ds.Systems {
-		if err := ctx.Err(); err != nil {
+		if err := resilience.CtxError(ctx); err != nil {
 			return nil, err
 		}
 		a, err := r.resolve(ref)
@@ -362,7 +448,7 @@ func (r *Runner) DescribeSystems(ctx context.Context, ds *DescribeSpec) (*Descri
 		if err != nil {
 			return nil, err
 		}
-		ex, err := r.Cache.Explore(a, limit)
+		ex, err := r.Cache.ExploreCtx(ctx, a, limit, bud)
 		if err != nil {
 			return nil, err
 		}

@@ -12,18 +12,38 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // Observability instruments for the pool.
 var (
-	cPoolMaps  = obs.C("engine.pool.maps")
-	cPoolTasks = obs.C("engine.pool.tasks")
-	gPoolBusy  = obs.G("engine.pool.busy.max")
+	cPoolMaps   = obs.C("engine.pool.maps")
+	cPoolTasks  = obs.C("engine.pool.tasks")
+	cPoolPanics = obs.C("engine.pool.panics")
+	gPoolBusy   = obs.G("engine.pool.busy.max")
 )
+
+// call runs one task with panic isolation: a panicking fn becomes a
+// *resilience.PanicError instead of killing the process, and a task that
+// returns nil under a terminated context reports the classified context
+// error — so cancellation mid-task is surfaced by the same deterministic
+// lowest-index rule as an ordinary task failure.
+func call(ctx context.Context, fn func(i int) error, i int) error {
+	err := resilience.Catch(func() error { return fn(i) })
+	var pe *resilience.PanicError
+	if errors.As(err, &pe) {
+		cPoolPanics.Inc()
+	}
+	if err == nil {
+		err = resilience.CtxError(ctx)
+	}
+	return err
+}
 
 // Pool is a bounded worker pool. A single pool is meant to be shared by all
 // concurrent work in a process (every CLI invocation, every daemon job):
@@ -56,9 +76,14 @@ func (p *Pool) Workers() int {
 // Map runs fn(0..n-1), at most Workers() at a time, and waits for all
 // launched tasks. The error returned is that of the lowest-index failing
 // task — the same error a sequential in-order run would return — or the
-// context's error if cancellation stopped the launch with no task failure.
-// fn must be safe for concurrent calls with distinct indices. A nil pool or
-// a single-worker pool runs sequentially, stopping at the first error.
+// classified context error if cancellation stopped the launch with no task
+// failure. The context is also checked after each fn returns, so a context
+// terminated while a worker was mid-task is reported under the same
+// lowest-index rule (as resilience.ErrCancelled/ErrDeadline wrapping
+// ctx.Err()). Panics in fn are isolated into *resilience.PanicError task
+// failures. fn must be safe for concurrent calls with distinct indices. A
+// nil pool or a single-worker pool runs sequentially, stopping at the
+// first error.
 func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -68,10 +93,10 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 	if p == nil || p.workers <= 1 || n == 1 {
 		cPoolTasks.Add(int64(n))
 		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
+			if err := resilience.CtxError(ctx); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := call(ctx, fn, i); err != nil {
 				return err
 			}
 		}
@@ -125,7 +150,7 @@ launch:
 				<-p.sem
 				wg.Done()
 			}()
-			if err := fn(i); err != nil {
+			if err := call(ctx, fn, i); err != nil {
 				record(i, err)
 			}
 		}(i)
@@ -135,7 +160,7 @@ launch:
 		return firstErr
 	}
 	if launched < n {
-		return ctx.Err()
+		return resilience.CtxError(ctx)
 	}
 	return nil
 }

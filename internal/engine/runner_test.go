@@ -213,7 +213,10 @@ func TestJobDispatchAndStore(t *testing.T) {
 	}
 
 	st := engine.NewStore()
-	rec := st.Submit(context.Background(), r, engine.Job{Kind: engine.KindCheck, Check: coinCheck()})
+	rec, err := st.Submit(context.Background(), r, engine.Job{Kind: engine.KindCheck, Check: coinCheck()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rec.ID == "" || rec.Kind != engine.KindCheck {
 		t.Fatalf("bad record: %+v", rec)
 	}
@@ -228,7 +231,10 @@ func TestJobDispatchAndStore(t *testing.T) {
 		t.Error("coin check should hold at ε=0.125")
 	}
 
-	bad := st.Submit(context.Background(), r, engine.Job{Kind: engine.KindCheck, Check: &engine.CheckSpec{Left: "coin:fair:x", Right: "coin:fair:x", Envs: []string{"no:such:ref"}}})
+	bad, err := st.Submit(context.Background(), r, engine.Job{Kind: engine.KindCheck, Check: &engine.CheckSpec{Left: "coin:fair:x", Right: "coin:fair:x", Envs: []string{"no:such:ref"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	fin, err := st.Await(context.Background(), bad.ID)
 	if err != nil {
 		t.Fatal(err)

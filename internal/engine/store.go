@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // Job lifecycle states.
@@ -23,7 +24,10 @@ var (
 	cJobsSubmitted = obs.C("engine.jobs.submitted")
 	cJobsCompleted = obs.C("engine.jobs.completed")
 	cJobsErrored   = obs.C("engine.jobs.errored")
+	cJobsShed      = obs.C("engine.jobs.shed")
+	cJobsRejected  = obs.C("engine.jobs.rejected")
 	gJobsRunning   = obs.G("engine.jobs.running")
+	gJobsInFlight  = obs.G("engine.jobs.inflight")
 )
 
 // JobRecord is the stored state of a submitted job. Records returned by the
@@ -37,6 +41,24 @@ type JobRecord struct {
 	Finished  time.Time `json:"finished,omitempty"`
 	Result    *Result   `json:"result,omitempty"`
 	Err       string    `json:"error,omitempty"`
+	// ErrClass is the resilience classification of Err ("deadline",
+	// "budget", "panic", ...), empty for unclassified errors.
+	ErrClass string `json:"error_class,omitempty"`
+}
+
+// StoreConfig hardens a Store. The zero value preserves the permissive
+// behaviour: unbounded queue, no breaker, no retries.
+type StoreConfig struct {
+	// QueueLimit bounds queued + running async jobs; submissions beyond
+	// it are shed with resilience.ErrQueueFull. 0 means unbounded.
+	QueueLimit int
+	// Breaker quarantines job fingerprints that panic repeatedly; nil
+	// disables quarantine. Share the same breaker with the synchronous
+	// request path so both see the same quarantine state.
+	Breaker *resilience.Breaker
+	// Retry is the backoff policy for transient job failures; the zero
+	// value runs each job once.
+	Retry resilience.Backoff
 }
 
 // Store tracks submitted jobs and runs them asynchronously on a Runner. It
@@ -44,27 +66,68 @@ type JobRecord struct {
 // so submitting many jobs at once queues them for worker slots rather than
 // oversubscribing the process.
 type Store struct {
-	mu      sync.Mutex
-	seq     int
-	running int
-	jobs    map[string]*JobRecord
-	done    map[string]chan struct{}
+	cfg      StoreConfig
+	mu       sync.Mutex
+	seq      int
+	running  int
+	inflight int
+	jobs     map[string]*JobRecord
+	done     map[string]chan struct{}
+	wg       sync.WaitGroup
 }
 
-// NewStore returns an empty job store.
+// NewStore returns an empty, unhardened job store (no queue bound, no
+// breaker, no retries).
 func NewStore() *Store {
+	return NewStoreWith(StoreConfig{})
+}
+
+// NewStoreWith returns an empty job store hardened per cfg.
+func NewStoreWith(cfg StoreConfig) *Store {
 	return &Store{
+		cfg:  cfg,
 		jobs: make(map[string]*JobRecord),
 		done: make(map[string]chan struct{}),
 	}
 }
 
+// Breaker exposes the store's circuit breaker (nil when unconfigured) so
+// the synchronous request path can share its quarantine state.
+func (st *Store) Breaker() *resilience.Breaker { return st.cfg.Breaker }
+
+// InFlight returns the number of async jobs queued or running.
+func (st *Store) InFlight() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.inflight
+}
+
 // Submit registers the job and starts it on the runner in a new goroutine,
 // returning the queued record immediately. The context governs the job's
-// whole run (the daemon passes its serve context so shutdown cancels
-// in-flight jobs).
-func (st *Store) Submit(ctx context.Context, r *Runner, job Job) *JobRecord {
+// whole run (the daemon passes a jobs context that outlives the listener,
+// so shutdown can drain before cancelling).
+//
+// Submission fails fast — without creating a record — when the bounded
+// queue is saturated (resilience.ErrQueueFull; the daemon sheds with 503 +
+// Retry-After) or the job's fingerprint is quarantined by the breaker
+// (resilience.ErrQuarantined). Jobs run behind panic isolation, transient
+// failures are retried per the store's backoff policy, and the breaker
+// observes every terminal outcome.
+func (st *Store) Submit(ctx context.Context, r *Runner, job Job) (*JobRecord, error) {
+	fp := job.Fingerprint()
+	if err := st.cfg.Breaker.Allow(fp); err != nil {
+		cJobsRejected.Inc()
+		return nil, err
+	}
 	st.mu.Lock()
+	if st.cfg.QueueLimit > 0 && st.inflight >= st.cfg.QueueLimit {
+		n := st.inflight
+		st.mu.Unlock()
+		cJobsShed.Inc()
+		return nil, fmt.Errorf("engine: %d jobs in flight: %w", n, resilience.ErrQueueFull)
+	}
+	st.inflight++
+	gJobsInFlight.Set(int64(st.inflight))
 	st.seq++
 	id := fmt.Sprintf("j%04d", st.seq)
 	rec := &JobRecord{ID: id, Kind: job.Kind, Status: StatusQueued, Submitted: time.Now()}
@@ -72,35 +135,67 @@ func (st *Store) Submit(ctx context.Context, r *Runner, job Job) *JobRecord {
 	ch := make(chan struct{})
 	st.done[id] = ch
 	queued := rec.clone()
+	st.wg.Add(1)
 	st.mu.Unlock()
 	cJobsSubmitted.Inc()
 
 	go func() {
+		defer st.wg.Done()
 		defer close(ch)
 		st.update(id, func(r *JobRecord) {
 			r.Status = StatusRunning
 			r.Started = time.Now()
 		})
 		st.addRunning(1)
-		res, err := r.Run(ctx, job)
+		var res *Result
+		err := resilience.Retry(ctx, st.cfg.Retry, func() error {
+			var rerr error
+			res, rerr = r.RunSafe(ctx, job)
+			return rerr
+		})
 		st.addRunning(-1)
+		st.cfg.Breaker.Observe(fp, err)
 		st.update(id, func(rec *JobRecord) {
 			rec.Finished = time.Now()
 			if err != nil {
 				rec.Status = StatusFailed
 				rec.Err = err.Error()
+				rec.ErrClass = resilience.Class(err)
 				return
 			}
 			rec.Status = StatusDone
 			rec.Result = res
 		})
+		st.mu.Lock()
+		st.inflight--
+		gJobsInFlight.Set(int64(st.inflight))
+		st.mu.Unlock()
 		if err != nil {
 			cJobsErrored.Inc()
 		} else {
 			cJobsCompleted.Inc()
 		}
 	}()
-	return queued
+	return queued, nil
+}
+
+// Drain blocks until every in-flight async job has reached a terminal
+// state or ctx expires (returning the classified context error). Pair it
+// with a jobs context separate from the shutdown signal: stop accepting
+// work, Drain with a grace period, then cancel the jobs context so
+// stragglers terminate through their own cancellation checkpoints.
+func (st *Store) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		st.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return resilience.CtxError(ctx)
+	}
 }
 
 // Get returns a copy of the record for id.

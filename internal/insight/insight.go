@@ -16,6 +16,7 @@
 package insight
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/obs"
 	"repro/internal/psioa"
+	"repro/internal/resilience"
 	"repro/internal/sched"
 )
 
@@ -118,8 +120,16 @@ func Restrict(set psioa.ActionSet) Insight {
 // under the insight function, where w is the composed system E‖A and σ a
 // scheduler of w. maxDepth guards the exact expansion.
 func FDist(w psioa.PSIOA, s sched.Scheduler, f Insight, maxDepth int) (*measure.Dist[string], error) {
+	return FDistCtx(nil, w, s, f, maxDepth, nil)
+}
+
+// FDistCtx is FDist with cooperative cancellation and a work budget,
+// threaded into the underlying measure expansion. An image of a partial
+// measure would silently misreport the perception, so any interruption —
+// budget included — returns nil with the classified error.
+func FDistCtx(ctx context.Context, w psioa.PSIOA, s sched.Scheduler, f Insight, maxDepth int, b *resilience.Budget) (*measure.Dist[string], error) {
 	defer obs.Time("insight.fdist.us")()
-	em, err := sched.Measure(w, s, maxDepth)
+	em, err := sched.MeasureCtx(ctx, w, s, maxDepth, b)
 	if err != nil {
 		return nil, err
 	}

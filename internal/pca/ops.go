@@ -148,7 +148,7 @@ func (p *Product) Config(q psioa.State) *Config {
 		c := x.Config(qs[i])
 		for _, id := range c.Auts() {
 			if out.Has(id) {
-				panic(fmt.Sprintf("pca: composed configurations both contain automaton %q at state %q", id, q))
+				invalidf("pca: composed configurations both contain automaton %q at state %q", id, q)
 			}
 			st, _ := c.StateOf(id)
 			out.states[id] = st
@@ -202,11 +202,17 @@ func (p *Product) HiddenActions(q psioa.State) psioa.ActionSet {
 // hidden(q) ⊆ out(config(X)(q)).
 func ValidatePCA(x PCA, limit int) (err error) {
 	// Ill-formed PCAs (e.g. creation mappings violating φ ∩ A = ∅) surface
-	// as panics from the transition machinery; report them as validation
-	// failures rather than crashing the checker.
+	// as validationPanic values from the transition machinery; report them
+	// as validation failures rather than crashing the checker. Any other
+	// panic is a bug in the PCA implementation itself (nil map, index out
+	// of range, ...) and must propagate, not masquerade as "invalid input".
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("pca: %q invalid: %v", x.ID(), r)
+			vp, ok := r.(validationPanic)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("pca: %q invalid: %v", x.ID(), vp.msg)
 		}
 	}()
 	ex, err := psioa.Explore(x, limit)

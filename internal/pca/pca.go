@@ -89,6 +89,20 @@ func New(id string, reg Registry, init *Config, opts ...Option) (*ConfigAutomato
 	return x, nil
 }
 
+// validationPanic marks a panic raised because a PCA is ill-formed (a
+// state that does not decode to a configuration, a signature or intrinsic
+// transition error, a configuration collision in a product). ValidatePCA
+// converts exactly these into validation errors; any other panic is a
+// genuine bug and propagates.
+type validationPanic struct{ msg string }
+
+func (v validationPanic) String() string { return v.msg }
+
+// invalidf panics with a validationPanic.
+func invalidf(format string, args ...any) {
+	panic(validationPanic{msg: fmt.Sprintf(format, args...)})
+}
+
 // MustNew is New that panics on error.
 func MustNew(id string, reg Registry, init *Config, opts ...Option) *ConfigAutomaton {
 	x, err := New(id, reg, init, opts...)
@@ -111,7 +125,7 @@ func (x *ConfigAutomaton) Start() psioa.State { return psioa.State(x.init.Key())
 func (x *ConfigAutomaton) Config(q psioa.State) *Config {
 	c, err := FromKey(string(q))
 	if err != nil {
-		panic(fmt.Sprintf("pca: %q: state %q is not a configuration key: %v", x.id, q, err))
+		invalidf("pca: %q: state %q is not a configuration key: %v", x.id, q, err)
 	}
 	return c
 }
@@ -138,7 +152,7 @@ func (x *ConfigAutomaton) Sig(q psioa.State) psioa.Signature {
 	c := x.Config(q)
 	sig, err := c.Sig(x.reg)
 	if err != nil {
-		panic(err)
+		invalidf("pca: %q: signature of %q: %v", x.id, q, err)
 	}
 	return psioa.HideSignature(sig, x.HiddenActions(q))
 }
@@ -157,7 +171,7 @@ func (x *ConfigAutomaton) Trans(q psioa.State, a psioa.Action) *psioa.Dist {
 	}
 	eta, err := IntrinsicTrans(x.reg, x.Config(q), a, x.Created(q, a))
 	if err != nil {
-		panic(err)
+		invalidf("pca: %q: intrinsic transition at %q on %q: %v", x.id, q, a, err)
 	}
 	out := measure.New[psioa.State]()
 	eta.ForEach(func(key string, p float64) { out.Add(psioa.State(key), p) })

@@ -328,6 +328,28 @@ func TestValidatePCACatchesBrokenCreated(t *testing.T) {
 	}
 }
 
+func TestValidatePCARepanicsOnBugs(t *testing.T) {
+	// ValidatePCA converts only the typed ill-formed-PCA panics into
+	// validation errors. A panic from a bug in the PCA implementation (here
+	// a hidden-actions mapping that blows up) must propagate, not be
+	// reported as "invalid input".
+	reg := pca.MapRegistry{}.Register(testaut.Coin("c1", 0.5))
+	init := pca.NewConfig(map[string]psioa.State{"c1": "q0"})
+	x := pca.MustNew("buggy", reg, init, pca.WithHidden(func(c *pca.Config) psioa.ActionSet {
+		panic("bug in hiddenFn")
+	}))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("ValidatePCA swallowed an implementation-bug panic")
+		}
+		if s, ok := r.(string); !ok || s != "bug in hiddenFn" {
+			t.Errorf("re-panicked with %v, want the original value", r)
+		}
+	}()
+	pca.ValidatePCA(x, 100)
+}
+
 func TestCreationMaskView(t *testing.T) {
 	x, _ := factory("f", 2, 0.5)
 	view := pca.CreationMaskView(x, []string{"ctrl_f"})

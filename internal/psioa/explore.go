@@ -1,10 +1,12 @@
 package psioa
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // Observability instruments for the exploration hot path. Counters are
@@ -38,9 +40,24 @@ type Exploration struct {
 // result covers the first limit states. Component incompatibility (for
 // composite automata) is reported as an error.
 func Explore(a PSIOA, limit int) (*Exploration, error) {
+	return ExploreCtx(nil, a, limit, nil)
+}
+
+// ExploreCtx is Explore with cooperative cancellation and a work budget:
+// the BFS loop polls ctx and charges b (one state per dequeue, one
+// transition per enabled action) through an amortized checkpoint. On a
+// budget-bounded stop the exploration found so far is returned — marked
+// Truncated — alongside the ErrBudgetExceeded-classified error; on context
+// termination the result is nil with an ErrCancelled/ErrDeadline error.
+// Explore(a, limit) is exactly ExploreCtx(nil, a, limit, nil).
+func ExploreCtx(ctx context.Context, a PSIOA, limit int, b *resilience.Budget) (*Exploration, error) {
 	sp := obs.Begin("psioa.explore", a.ID())
 	defer sp.End()
 	defer obs.Time("psioa.explore.us")()
+	if err := resilience.FireDelay(ctx, resilience.FaultSlowOp); err != nil {
+		return nil, err
+	}
+	ck := resilience.NewCheckpoint(ctx, b)
 	tr := obs.Active()
 	traced := tr.Enabled()
 	var nTrans int64
@@ -51,6 +68,9 @@ func Explore(a PSIOA, limit int) (*Exploration, error) {
 	for len(queue) > 0 {
 		q := queue[0]
 		queue = queue[1:]
+		if err := ck.Step(1, 0); err != nil {
+			return exploreStopped(ex, nTrans, err)
+		}
 		if cc, ok := a.(compatAtChecker); ok {
 			if err := cc.CompatAt(q); err != nil {
 				return nil, err
@@ -72,6 +92,9 @@ func Explore(a PSIOA, limit int) (*Exploration, error) {
 		for _, act := range SortedAll(sig) {
 			ex.Acts.Add(act)
 			nTrans++
+			if err := ck.Step(0, 1); err != nil {
+				return exploreStopped(ex, nTrans, err)
+			}
 			if traced {
 				tr.Emit(obs.Event{Kind: obs.KindTransition, Name: a.ID(), Attr: string(act)})
 			}
@@ -87,6 +110,9 @@ func Explore(a PSIOA, limit int) (*Exploration, error) {
 			}
 		}
 	}
+	if err := ck.Finish(); err != nil {
+		return exploreStopped(ex, nTrans, err)
+	}
 	cExploreCalls.Inc()
 	cExploreStates.Add(int64(len(ex.States)))
 	cExploreTrans.Add(nTrans)
@@ -94,6 +120,21 @@ func Explore(a PSIOA, limit int) (*Exploration, error) {
 		cExploreTrunc.Inc()
 	}
 	return ex, nil
+}
+
+// exploreStopped finalises an exploration interrupted by a checkpoint. A
+// budget stop keeps the partial result (marked Truncated — the reachable
+// set was not exhausted); context termination discards it.
+func exploreStopped(ex *Exploration, nTrans int64, err error) (*Exploration, error) {
+	cExploreCalls.Inc()
+	cExploreStates.Add(int64(len(ex.States)))
+	cExploreTrans.Add(nTrans)
+	cExploreTrunc.Inc()
+	if !resilience.IsBudget(err) {
+		return nil, err
+	}
+	ex.Truncated = true
+	return ex, err
 }
 
 // SortedStates returns the reachable states in lexicographic order.

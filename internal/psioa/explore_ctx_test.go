@@ -1,0 +1,80 @@
+package psioa_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/psioa"
+	"repro/internal/resilience"
+)
+
+// chain builds a deterministic n-state chain automaton, large enough to
+// cross the checkpoint's amortized poll interval several times.
+func chain(n int) psioa.PSIOA {
+	b := psioa.NewBuilder("chain", "q0")
+	for i := 0; i < n-1; i++ {
+		act := psioa.Action(fmt.Sprintf("step%d", i))
+		b.AddState(psioa.State(fmt.Sprintf("q%d", i)),
+			psioa.NewSignature(nil, []psioa.Action{act}, nil))
+		b.AddDet(psioa.State(fmt.Sprintf("q%d", i)), act, psioa.State(fmt.Sprintf("q%d", i+1)))
+	}
+	b.AddState(psioa.State(fmt.Sprintf("q%d", n-1)), psioa.NewSignature(nil, nil, nil))
+	return b.MustBuild()
+}
+
+func TestExploreCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex, err := psioa.ExploreCtx(ctx, chain(5000), 10000, nil)
+	if !errors.Is(err, resilience.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if ex != nil {
+		t.Error("cancellation must not return a partial exploration")
+	}
+}
+
+func TestExploreCtxBudgetPartial(t *testing.T) {
+	bud := resilience.NewBudget(1000, 0, 0)
+	ex, err := psioa.ExploreCtx(nil, chain(5000), 10000, bud)
+	if !resilience.IsBudget(err) {
+		t.Fatalf("err = %v, want budget", err)
+	}
+	if ex == nil || !ex.Truncated {
+		t.Fatal("budget stop should return a truncated partial exploration")
+	}
+	// The partial covers a prefix: at least the budget, at most the budget
+	// plus one amortized poll interval.
+	if n := len(ex.States); n < 1000-256 || n > 1000+256 {
+		t.Errorf("partial exploration has %d states, want ~1000", n)
+	}
+	// The prefix is a genuine BFS prefix of the full exploration.
+	full, ferr := psioa.Explore(chain(5000), 10000)
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	for i, q := range ex.States {
+		if full.States[i] != q {
+			t.Fatalf("partial state %d = %q, full has %q: not a prefix", i, q, full.States[i])
+		}
+	}
+}
+
+func TestExploreCtxUnlimitedMatchesExplore(t *testing.T) {
+	// A live context and a generous budget must not change the result.
+	a := chain(600)
+	full, err := psioa.Explore(a, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := psioa.ExploreCtx(context.Background(), a, 10000, resilience.NewBudget(1<<30, 1<<30, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.States) != len(full.States) || ex.Truncated != full.Truncated {
+		t.Errorf("hardened exploration diverged: %d/%v vs %d/%v",
+			len(ex.States), ex.Truncated, len(full.States), full.Truncated)
+	}
+}

@@ -1,0 +1,96 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+var (
+	cBreakerOpened   = obs.C("resilience.breaker.opened")
+	cBreakerRejected = obs.C("resilience.breaker.rejected")
+)
+
+// Breaker is a per-key circuit breaker for panics: after K consecutive
+// panic-classified failures of the same key (a job fingerprint), the key is
+// quarantined and Allow rejects it with ErrQuarantined. Any non-panic
+// outcome — success or an ordinary error — resets the key's count: the
+// breaker guards against crash loops, not against jobs that legitimately
+// fail. A nil *Breaker allows everything.
+type Breaker struct {
+	mu     sync.Mutex
+	k      int
+	consec map[string]int
+	open   map[string]bool
+}
+
+// NewBreaker returns a breaker quarantining a key after k consecutive
+// panics; k <= 0 defaults to 3.
+func NewBreaker(k int) *Breaker {
+	if k <= 0 {
+		k = 3
+	}
+	return &Breaker{k: k, consec: make(map[string]int), open: make(map[string]bool)}
+}
+
+// Allow reports whether work for key may run, returning an
+// ErrQuarantined-classified error when the key's circuit is open.
+func (b *Breaker) Allow(key string) error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.open[key] {
+		cBreakerRejected.Inc()
+		return fmt.Errorf("resilience: %w: %q after %d consecutive panics", ErrQuarantined, key, b.k)
+	}
+	return nil
+}
+
+// Observe records the outcome of running work for key. A *PanicError
+// increments the key's consecutive-panic count (opening the circuit at K);
+// anything else resets it.
+func (b *Breaker) Observe(key string, err error) {
+	if b == nil {
+		return
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		b.mu.Lock()
+		delete(b.consec, key)
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec[key]++
+	if b.consec[key] >= b.k && !b.open[key] {
+		b.open[key] = true
+		cBreakerOpened.Inc()
+	}
+}
+
+// Open reports whether key's circuit is currently open.
+func (b *Breaker) Open(key string) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open[key]
+}
+
+// Reset closes key's circuit and clears its count (an operator action; the
+// breaker has no automatic half-open probe).
+func (b *Breaker) Reset(key string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.open, key)
+	delete(b.consec, key)
+}

@@ -1,0 +1,214 @@
+package resilience_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+func TestInjectorDisabledNeverFires(t *testing.T) {
+	// No installed injector: every Fire* helper is a no-op.
+	if resilience.Fire("anything") {
+		t.Error("Fire fired with no injector installed")
+	}
+	if err := resilience.FireErr("anything"); err != nil {
+		t.Errorf("FireErr = %v with no injector installed", err)
+	}
+	resilience.FirePanic("anything") // must not panic
+	if err := resilience.FireDelay(context.Background(), "anything"); err != nil {
+		t.Errorf("FireDelay = %v with no injector installed", err)
+	}
+	// Installed injector, but the point is not armed.
+	restore := resilience.InstallInjector(resilience.NewInjector(1))
+	defer restore()
+	if resilience.Fire("unarmed") {
+		t.Error("unarmed point fired")
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	sequence := func(seed uint64) []bool {
+		in := resilience.NewInjector(seed).Arm("p", 0.5)
+		restore := resilience.InstallInjector(in)
+		defer restore()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = resilience.Fire("p")
+		}
+		return out
+	}
+	a, b := sequence(42), sequence(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("p=0.5 fired %d/%d times, want a mix", fired, len(a))
+	}
+	// A different seed gives a different sequence (overwhelmingly likely
+	// over 64 draws).
+	c := sequence(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestInjectorArmN(t *testing.T) {
+	in := resilience.NewInjector(1).ArmN("p", 1, 3)
+	restore := resilience.InstallInjector(in)
+	defer restore()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if resilience.Fire("p") {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Errorf("ArmN(3) fired %d times, want 3", fired)
+	}
+	if in.Fired("p") != 3 || in.Seen("p") != 10 {
+		t.Errorf("Fired/Seen = %d/%d, want 3/10", in.Fired("p"), in.Seen("p"))
+	}
+}
+
+func TestFireErrIsTransientInjected(t *testing.T) {
+	restore := resilience.InstallInjector(resilience.NewInjector(1).Arm("p", 1))
+	defer restore()
+	err := resilience.FireErr("p")
+	if !errors.Is(err, resilience.ErrInjected) || !resilience.IsTransient(err) {
+		t.Fatalf("FireErr = %v, want transient ErrInjected", err)
+	}
+}
+
+func TestFireDelayHonoursContext(t *testing.T) {
+	restore := resilience.InstallInjector(
+		resilience.NewInjector(1).ArmDelay("slow", 1, 10*time.Second))
+	defer restore()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := resilience.FireDelay(ctx, "slow")
+	if !errors.Is(err, resilience.ErrDeadline) {
+		t.Fatalf("FireDelay = %v, want ErrDeadline", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Errorf("FireDelay took %v, should abort at the context deadline", el)
+	}
+}
+
+func TestBreaker(t *testing.T) {
+	b := resilience.NewBreaker(3)
+	panicErr := resilience.Catch(func() error { panic("boom") })
+	if err := b.Allow("k"); err != nil {
+		t.Fatalf("fresh key rejected: %v", err)
+	}
+	// Two panics then a success: the success resets the count.
+	b.Observe("k", panicErr)
+	b.Observe("k", panicErr)
+	b.Observe("k", nil)
+	b.Observe("k", panicErr)
+	b.Observe("k", panicErr)
+	if b.Open("k") {
+		t.Fatal("breaker opened before K consecutive panics")
+	}
+	b.Observe("k", panicErr)
+	if !b.Open("k") {
+		t.Fatal("breaker should open after 3 consecutive panics")
+	}
+	err := b.Allow("k")
+	if !errors.Is(err, resilience.ErrQuarantined) {
+		t.Fatalf("Allow = %v, want ErrQuarantined", err)
+	}
+	// Ordinary errors never open the circuit.
+	for i := 0; i < 10; i++ {
+		b.Observe("other", errors.New("ordinary failure"))
+	}
+	if b.Open("other") {
+		t.Error("ordinary failures must not open the circuit")
+	}
+	// Keys are independent; Reset closes the circuit.
+	if err := b.Allow("other"); err != nil {
+		t.Errorf("independent key rejected: %v", err)
+	}
+	b.Reset("k")
+	if b.Open("k") || b.Allow("k") != nil {
+		t.Error("Reset should close the circuit")
+	}
+	// A nil breaker allows everything.
+	var nb *resilience.Breaker
+	if nb.Allow("k") != nil || nb.Open("k") {
+		t.Error("nil breaker should allow everything")
+	}
+	nb.Observe("k", panicErr)
+	nb.Reset("k")
+}
+
+func TestRetryTransientOnly(t *testing.T) {
+	b := resilience.Backoff{Attempts: 4, Base: time.Microsecond}
+	// Transient failures are retried until success.
+	calls := 0
+	err := resilience.Retry(context.Background(), b, func() error {
+		calls++
+		if calls < 3 {
+			return resilience.Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Retry = %v after %d calls, want nil after 3", err, calls)
+	}
+	// Permanent errors are not retried.
+	calls = 0
+	perm := errors.New("permanent")
+	if err := resilience.Retry(context.Background(), b, func() error { calls++; return perm }); !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("Retry = %v after %d calls, want permanent after 1", err, calls)
+	}
+	// Attempts bound transient retries; the last error is returned.
+	calls = 0
+	err = resilience.Retry(context.Background(), b, func() error {
+		calls++
+		return resilience.Transient(errors.New("always"))
+	})
+	if !resilience.IsTransient(err) || calls != 4 {
+		t.Fatalf("Retry = %v after %d calls, want transient after 4", err, calls)
+	}
+	// The zero policy runs exactly once.
+	calls = 0
+	resilience.Retry(context.Background(), resilience.Backoff{}, func() error {
+		calls++
+		return resilience.Transient(errors.New("x"))
+	})
+	if calls != 1 {
+		t.Fatalf("zero Backoff ran %d times, want 1", calls)
+	}
+}
+
+func TestRetryAbortsOnContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := resilience.Retry(ctx, resilience.Backoff{Attempts: 100, Base: 10 * time.Second}, func() error {
+		return resilience.Transient(errors.New("flaky"))
+	})
+	if !errors.Is(err, resilience.ErrDeadline) {
+		t.Fatalf("Retry = %v, want ErrDeadline from the backoff sleep", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Errorf("Retry took %v, should abort at the context deadline", el)
+	}
+}

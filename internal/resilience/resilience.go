@@ -1,0 +1,188 @@
+// Package resilience is the hardening layer of the framework: cooperative
+// cancellation checkpoints for the long-running kernels, work budgets with
+// graceful degradation, panic isolation, a per-key circuit breaker,
+// exponential backoff with deterministic jitter, and a seeded fault
+// injector for chaos testing.
+//
+// Like internal/obs, the package follows the guarded no-op pattern: every
+// hook a hot path invokes — a nil *Checkpoint, a disabled injector — costs
+// a nil check or one atomic load plus a predictable branch, so hardened
+// kernels run at full speed when nothing is armed.
+//
+// Error taxonomy (see docs/ROBUSTNESS.md):
+//
+//   - ErrCancelled / ErrDeadline classify context interruption; every error
+//     a checkpoint returns for an expired context wraps one of them *and*
+//     the underlying ctx.Err(), so both errors.Is(err, ErrDeadline) and
+//     errors.Is(err, context.DeadlineExceeded) hold;
+//   - ErrBudgetExceeded tags graceful degradation: the kernel stopped at
+//     its work budget and may have returned a partial result (the
+//     *BudgetError carries how far it got);
+//   - ErrQueueFull and ErrQuarantined are load-shedding outcomes of the
+//     daemon's bounded queue and circuit breaker;
+//   - *PanicError is a recovered panic, classified with errors.As.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/obs"
+)
+
+// Sentinel errors. Every failure this package produces wraps exactly one of
+// them (plus the underlying cause), so callers classify with errors.Is
+// without parsing messages.
+var (
+	// ErrCancelled reports an operation interrupted by context
+	// cancellation (client disconnect, shutdown).
+	ErrCancelled = errors.New("operation cancelled")
+	// ErrDeadline reports an operation interrupted by a context deadline
+	// (job timeout).
+	ErrDeadline = errors.New("operation deadline exceeded")
+	// ErrBudgetExceeded reports an operation stopped at its work budget;
+	// the concrete *BudgetError carries how far it got.
+	ErrBudgetExceeded = errors.New("operation budget exceeded")
+	// ErrQueueFull reports load shedding: the bounded async job queue is
+	// saturated and the submission was rejected.
+	ErrQueueFull = errors.New("job queue full")
+	// ErrQuarantined reports a job fingerprint quarantined by the circuit
+	// breaker after repeated panics.
+	ErrQuarantined = errors.New("quarantined by circuit breaker")
+	// ErrInjected tags deterministic faults raised by the Injector; chaos
+	// tests use it to tell injected failures from organic ones.
+	ErrInjected = errors.New("injected fault")
+)
+
+// Observability instruments for the recovery paths.
+var (
+	cPanics = obs.C("resilience.panics.recovered")
+)
+
+// CtxError classifies a context's termination: nil while the context is
+// live, otherwise an error wrapping ErrDeadline or ErrCancelled together
+// with the context's own error. A nil context is always live.
+func CtxError(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	err := ctx.Err()
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("resilience: %w: %w", ErrDeadline, err)
+	}
+	return fmt.Errorf("resilience: %w: %w", ErrCancelled, err)
+}
+
+// WrapCtx normalises an error produced under a cancelled or expired
+// context: if err wraps a bare context error but not yet the matching
+// sentinel, the sentinel is attached. Errors that are already classified
+// (or unrelated to context termination) pass through unchanged.
+func WrapCtx(err error) error {
+	if err == nil || errors.Is(err, ErrDeadline) || errors.Is(err, ErrCancelled) {
+		return err
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("resilience: %w: %w", ErrDeadline, err)
+	}
+	if errors.Is(err, context.Canceled) {
+		return fmt.Errorf("resilience: %w: %w", ErrCancelled, err)
+	}
+	return err
+}
+
+// Class names the resilience classification of an error — "deadline",
+// "cancelled", "budget", "queue-full", "quarantined", "panic",
+// "transient" — or "" for errors this package does not classify. The
+// daemon reports it alongside HTTP errors so clients can branch without
+// parsing messages.
+func Class(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrQueueFull):
+		return "queue-full"
+	case errors.Is(err, ErrQuarantined):
+		return "quarantined"
+	case errors.Is(err, ErrBudgetExceeded):
+		return "budget"
+	case errors.Is(err, ErrDeadline):
+		return "deadline"
+	case errors.Is(err, ErrCancelled):
+		return "cancelled"
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return "panic"
+	}
+	if IsTransient(err) {
+		return "transient"
+	}
+	return ""
+}
+
+// PanicError is a panic recovered at an isolation boundary (a pool worker,
+// an async job, an HTTP handler), preserving the panic value and the stack
+// of the panicking goroutine. Classify with errors.As.
+type PanicError struct {
+	// Value is the rendered panic value.
+	Value string
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+// Error implements error. The stack is deliberately omitted: it is for
+// logs and debugging, not for user-facing messages.
+func (e *PanicError) Error() string {
+	return "resilience: recovered panic: " + e.Value
+}
+
+// RecoverTo converts an in-flight panic into a *PanicError stored in
+// *errp. Use directly as a deferred call at an isolation boundary:
+//
+//	func worker() (err error) {
+//	    defer resilience.RecoverTo(&err)
+//	    ...
+//	}
+func RecoverTo(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	cPanics.Inc()
+	*errp = &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+}
+
+// Catch runs fn, converting a panic into a *PanicError return.
+func Catch(fn func() error) (err error) {
+	defer RecoverTo(&err)
+	return fn()
+}
+
+// transientError marks an error as transient: safe to retry because the
+// fault is expected to clear (an injected transient fault, a shed retry).
+type transientError struct{ err error }
+
+func (t *transientError) Error() string   { return t.err.Error() }
+func (t *transientError) Unwrap() error   { return t.err }
+func (t *transientError) Transient() bool { return true }
+
+// Transient marks err as transient for IsTransient. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether any error in err's chain is marked
+// transient. Retry loops use it to decide whether another attempt can
+// possibly succeed.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}

@@ -1,0 +1,125 @@
+package resilience_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// TestErrorClassification pins the taxonomy: every error the package
+// produces classifies under exactly one sentinel via errors.Is, and the
+// checkpoint's context errors additionally wrap the underlying ctx.Err().
+func TestErrorClassification(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+
+	cancelErr := resilience.CtxError(cancelled)
+	deadlineErr := resilience.CtxError(expired)
+
+	cases := []struct {
+		name  string
+		err   error
+		is    error
+		class string
+	}{
+		{"cancelled", cancelErr, resilience.ErrCancelled, "cancelled"},
+		{"deadline", deadlineErr, resilience.ErrDeadline, "deadline"},
+		{"budget", fmt.Errorf("wrapped: %w", resilience.ErrBudgetExceeded), resilience.ErrBudgetExceeded, "budget"},
+		{"queue-full", fmt.Errorf("wrapped: %w", resilience.ErrQueueFull), resilience.ErrQueueFull, "queue-full"},
+		{"quarantined", fmt.Errorf("wrapped: %w", resilience.ErrQuarantined), resilience.ErrQuarantined, "quarantined"},
+		{"transient", resilience.Transient(errors.New("flaky")), nil, "transient"},
+	}
+	for _, c := range cases {
+		if c.is != nil && !errors.Is(c.err, c.is) {
+			t.Errorf("%s: errors.Is failed for %v", c.name, c.err)
+		}
+		if got := resilience.Class(c.err); got != c.class {
+			t.Errorf("%s: Class = %q, want %q", c.name, got, c.class)
+		}
+	}
+
+	// Context classification also preserves the raw context errors, so
+	// pre-resilience call sites checking errors.Is(err, context.Canceled)
+	// keep working.
+	if !errors.Is(cancelErr, context.Canceled) {
+		t.Error("cancelled error should wrap context.Canceled")
+	}
+	if !errors.Is(deadlineErr, context.DeadlineExceeded) {
+		t.Error("deadline error should wrap context.DeadlineExceeded")
+	}
+	if resilience.Class(nil) != "" || resilience.Class(errors.New("plain")) != "" {
+		t.Error("nil and unclassified errors should have empty class")
+	}
+	if resilience.CtxError(nil) != nil || resilience.CtxError(context.Background()) != nil {
+		t.Error("live or nil contexts should classify as nil")
+	}
+}
+
+func TestWrapCtx(t *testing.T) {
+	if resilience.WrapCtx(nil) != nil {
+		t.Error("WrapCtx(nil) != nil")
+	}
+	plain := errors.New("plain")
+	if resilience.WrapCtx(plain) != plain {
+		t.Error("unrelated errors must pass through unchanged")
+	}
+	wrapped := resilience.WrapCtx(fmt.Errorf("op: %w", context.Canceled))
+	if !errors.Is(wrapped, resilience.ErrCancelled) || !errors.Is(wrapped, context.Canceled) {
+		t.Errorf("WrapCtx should attach ErrCancelled: %v", wrapped)
+	}
+	wrapped = resilience.WrapCtx(fmt.Errorf("op: %w", context.DeadlineExceeded))
+	if !errors.Is(wrapped, resilience.ErrDeadline) {
+		t.Errorf("WrapCtx should attach ErrDeadline: %v", wrapped)
+	}
+	// Already-classified errors are not double-wrapped.
+	if again := resilience.WrapCtx(wrapped); again != wrapped {
+		t.Error("classified errors must pass through unchanged")
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	err := resilience.Catch(func() error { panic("boom") })
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Catch returned %v, want *PanicError", err)
+	}
+	if pe.Value != "boom" || !strings.Contains(pe.Stack, "resilience_test") {
+		t.Errorf("PanicError = {Value: %q, Stack has test frame: %v}", pe.Value, strings.Contains(pe.Stack, "resilience_test"))
+	}
+	if resilience.Class(err) != "panic" {
+		t.Errorf("Class = %q, want panic", resilience.Class(err))
+	}
+	if !strings.Contains(pe.Error(), "boom") || strings.Contains(pe.Error(), pe.Stack[:20]) {
+		t.Error("Error() should carry the value, not the stack")
+	}
+	// No panic → the function's own result passes through.
+	want := errors.New("ordinary")
+	if got := resilience.Catch(func() error { return want }); got != want {
+		t.Errorf("Catch = %v, want %v", got, want)
+	}
+}
+
+func TestTransient(t *testing.T) {
+	if resilience.Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+	base := errors.New("cause")
+	terr := resilience.Transient(base)
+	if !resilience.IsTransient(terr) || !errors.Is(terr, base) {
+		t.Error("transient error should be transient and unwrap to its cause")
+	}
+	if resilience.IsTransient(base) || resilience.IsTransient(nil) {
+		t.Error("unmarked errors are not transient")
+	}
+	// Transience survives wrapping.
+	if !resilience.IsTransient(fmt.Errorf("outer: %w", terr)) {
+		t.Error("transience should survive wrapping")
+	}
+}

@@ -1,0 +1,103 @@
+package sched_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/psioa"
+	"repro/internal/resilience"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/testaut"
+)
+
+func TestMeasureCtxCancellation(t *testing.T) {
+	w := testaut.RandomWalk("w", 6, 0.5)
+	s := &sched.Greedy{A: w, Bound: 14}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	em, err := sched.MeasureCtx(ctx, w, s, 20, nil)
+	if !errors.Is(err, resilience.ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCancelled wrapping context.Canceled", err)
+	}
+	if em != nil {
+		t.Error("cancellation must not return a partial measure")
+	}
+}
+
+func TestMeasureCtxBudgetPartial(t *testing.T) {
+	w := testaut.RandomWalk("w", 6, 0.5)
+	s := &sched.Greedy{A: w, Bound: 14}
+	full, err := sched.Measure(w, s, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bud := resilience.NewBudget(0, 500, 0)
+	em, err := sched.MeasureCtx(nil, w, s, 20, bud)
+	if !resilience.IsBudget(err) {
+		t.Fatalf("err = %v, want budget", err)
+	}
+	if em == nil {
+		t.Fatal("budget stop should return the partial measure")
+	}
+	// Graceful degradation: the partial is a strict sub-probability prefix
+	// of ε_σ — every execution it contains carries exactly its full-measure
+	// mass, and the total is below 1.
+	if tot := em.Total(); tot <= 0 || tot >= full.Total() {
+		t.Errorf("partial total = %v, want in (0, %v)", tot, full.Total())
+	}
+	em.ForEach(func(f *psioa.Frag, p float64) {
+		if fp := full.P(f); fp != p {
+			t.Errorf("partial mass of %v = %v, full measure has %v", f, p, fp)
+		}
+	})
+}
+
+func TestMeasureCtxMatchesMeasure(t *testing.T) {
+	w := testaut.RandomWalk("w", 6, 0.5)
+	s := &sched.Greedy{A: w, Bound: 10}
+	full, err := sched.Measure(w, s, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := sched.MeasureCtx(context.Background(), w, s, 20, resilience.NewBudget(1<<30, 1<<30, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.Len() != full.Len() || em.Total() != full.Total() || em.MaxLen() != full.MaxLen() {
+		t.Errorf("hardened measure diverged: %d/%v/%d vs %d/%v/%d",
+			em.Len(), em.Total(), em.MaxLen(), full.Len(), full.Total(), full.MaxLen())
+	}
+}
+
+func TestSampleImageCtxNoPartials(t *testing.T) {
+	c := testaut.Coin("c", 0.5)
+	s := &sched.Greedy{A: c, Bound: 5}
+	fragKey := func(f *psioa.Frag) string { return f.Key() }
+	// Cancellation: no result at all (estimates are unbiased only at the
+	// full sample count).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d, err := sched.SampleImageCtx(ctx, c, s, rng.New(1), 10, 5000, fragKey, nil)
+	if d != nil || !errors.Is(err, resilience.ErrCancelled) {
+		t.Fatalf("cancelled SampleImageCtx = (%v, %v), want (nil, ErrCancelled)", d, err)
+	}
+	// Budget exhaustion: same, no partial estimate.
+	d, err = sched.SampleImageCtx(nil, c, s, rng.New(1), 10, 5000, fragKey, resilience.NewBudget(100, 0, 0))
+	if d != nil || !resilience.IsBudget(err) {
+		t.Fatalf("budgeted SampleImageCtx = (%v, %v), want (nil, budget)", d, err)
+	}
+	// Unconstrained: matches the plain SampleImage under the same stream.
+	want, err := sched.SampleImage(c, s, rng.New(7), 10, 500, fragKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sched.SampleImageCtx(context.Background(), c, s, rng.New(7), 10, 500, fragKey, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Total() != got.Total() || want.Len() != got.Len() {
+		t.Errorf("hardened sampling diverged: %v/%d vs %v/%d", got.Total(), got.Len(), want.Total(), want.Len())
+	}
+}
