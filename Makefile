@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-smoke daemon-smoke chaos check clean
+.PHONY: build test race vet bench bench-json bench-par bench-compare bench-smoke daemon-smoke chaos check clean
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,20 @@ bench:
 # line). Compare two recordings with scripts/bench_compare.sh; see
 # docs/PERFORMANCE.md.
 bench-json:
-	$(GO) run ./cmd/dsebench -json BENCH_3.json
+	$(GO) run ./cmd/dsebench -json BENCH_4.json
+
+# bench-par runs the parallel-vs-sequential kernels at GOMAXPROCS 1 and at
+# the host default: the sharded expansion, the DAG collapse, and the
+# substream sampler. Results are byte-identical at every worker count, so
+# the only thing that moves between the two runs is wall clock.
+bench-par:
+	GOMAXPROCS=1 $(GO) test -bench='Parallel|DAG' -benchtime=1x -run='^$$' .
+	$(GO) test -bench='Parallel|DAG' -benchtime=1x -run='^$$' .
+
+# bench-compare fails when the current recording (BENCH_4.json) regresses
+# more than 20% against the previous PR's baseline (BENCH_3.json).
+bench-compare:
+	sh scripts/bench_compare.sh BENCH_3.json BENCH_4.json
 
 # bench-smoke is the short-mode wiring for check: one fast experiment
 # through the -json path, self-compared through bench_compare.sh, so the
@@ -42,13 +55,14 @@ daemon-smoke:
 # saturation, through both the engine and the daemon's HTTP surface. See
 # docs/ROBUSTNESS.md for the fault-point catalogue.
 chaos:
-	$(GO) test -race -run Chaos ./internal/engine/... ./cmd/dsed/...
+	$(GO) test -race -run Chaos ./internal/engine/... ./internal/sched/... ./cmd/dsed/...
 	$(GO) test -race ./internal/resilience/...
 
 # check is the tier-1 gate plus static analysis, the race-sensitive
-# packages, the chaos suite, the bench tooling smoke, and the daemon
-# end-to-end smoke; run before every commit.
-check: build vet test race chaos bench-smoke daemon-smoke
+# packages, the chaos suite, the bench tooling smoke, the parallel-kernel
+# smoke, the baseline comparison, and the daemon end-to-end smoke; run
+# before every commit.
+check: build vet test race chaos bench-smoke bench-par bench-compare daemon-smoke
 
 clean:
 	$(GO) clean ./...

@@ -5,6 +5,7 @@
 package dse_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -495,5 +496,75 @@ func BenchmarkBalancedSup(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		dse.BalancedSup(dx, dy)
+	}
+}
+
+// BenchmarkMeasureParallel measures the sharded frontier expansion against
+// the deep/wide random-walk tree at several worker counts; the workers=1
+// case routes through the sequential kernel, so the sub-benchmark family is
+// the parallel-vs-sequential scaling curve (see make bench-par).
+func BenchmarkMeasureParallel(b *testing.B) {
+	w := testaut.RandomWalk("w", 10, 0.5)
+	s := &sched.Random{A: w, Bound: 14}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.MeasureOpts(context.Background(), w, s, 16, nil,
+					sched.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMeasureDAGConverging measures the state-collapsed DAG kernel
+// against the tree kernel on a converging automaton at the same bound: the
+// tree expands ~2^14 executions while the DAG propagates |states|×depth
+// nodes.
+func BenchmarkMeasureDAGConverging(b *testing.B) {
+	w := testaut.RandomWalk("w", 6, 0.5)
+	s := &sched.Random{A: w, Bound: 14}
+	b.Run("tree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.Measure(w, s, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dag", func(b *testing.B) {
+		dob, ok := sched.AsDepthOblivious(s)
+		if !ok {
+			b.Fatal("Random must be depth-oblivious")
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.MeasureDAG(context.Background(), w, dob, 16, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSampleImageParallel measures the substream Monte-Carlo sampler
+// at several worker counts (the sampled distribution is identical at all of
+// them).
+func BenchmarkSampleImageParallel(b *testing.B) {
+	w := testaut.RandomWalk("w", 32, 0.5)
+	s := &sched.Greedy{A: w, Bound: 64, LocalOnly: true}
+	traceOf := func(f *psioa.Frag) string { return f.TraceKey(w) }
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			stream := rng.New(7)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.SampleImageOpts(context.Background(), w, s, stream, 66, 1000,
+					traceOf, nil, sched.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

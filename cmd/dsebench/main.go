@@ -31,7 +31,7 @@ var ocli obs.CLI
 
 func main() {
 	only := flag.String("only", "", "run a single experiment (E1..E18)")
-	workers := flag.Int("workers", 1, "experiment parallelism (engine pool size; 1 = sequential)")
+	workers := flag.Int("workers", 1, "experiment parallelism (engine pool size; 1 = sequential; per-kernel worker counts are recorded in the JSON output)")
 	jsonOut := flag.String("json", "", "write machine-readable results (one JSON object per benchmark) to `file` (\"-\" for stdout)")
 	timeout := flag.Duration("timeout", 0, "abort after this wall-clock time (0 = no limit)")
 	budget := flag.Int64("budget", 0, "kernel transition budget before stopping (0 = unlimited)")

@@ -43,7 +43,7 @@ func main() {
 	eps := flag.Float64("eps", 0, "tolerance ε")
 	q1 := flag.Int("q1", 3, "left scheduler bound")
 	q2 := flag.Int("q2", 0, "right scheduler bound (default q1)")
-	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	workers := flag.Int("workers", 0, "worker pool size for jobs and the parallel measure kernels (0 = GOMAXPROCS, 1 = sequential)")
 	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "memoization cache entries (0 = default)")
 	verbose := flag.Bool("v", false, "print every (environment, scheduler) pair")
 	timeout := flag.Duration("timeout", 0, "abort after this wall-clock time (0 = no limit)")

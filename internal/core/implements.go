@@ -71,6 +71,15 @@ type Memo interface {
 	FDistCtx(ctx context.Context, w psioa.PSIOA, s sched.Scheduler, f insight.Insight, maxDepth int, b *resilience.Budget) (*measure.Dist[string], error)
 }
 
+// MemoOpts is the optional extension of Memo that threads kernel options
+// (intra-measure worker counts, DAG routing) into the expansion. A Memo
+// that also implements MemoOpts receives Options.Kernel; plain Memo
+// implementations keep working unchanged.
+type MemoOpts interface {
+	Memo
+	FDistOpts(ctx context.Context, w psioa.PSIOA, s sched.Scheduler, f insight.Insight, maxDepth int, b *resilience.Budget, o sched.Options) (*measure.Dist[string], error)
+}
+
 // Options configures an implementation-relation check.
 type Options struct {
 	// Envs is the set of environments to quantify over (the executable
@@ -100,6 +109,14 @@ type Options struct {
 	// partial expansion, so an exhausted budget fails the check with an
 	// ErrBudgetExceeded-classified error. Nil means unbounded.
 	Budget *resilience.Budget
+	// Kernel configures the measure kernels themselves: a worker count
+	// shards each expansion's frontier (sched.MeasureOpts), on top of the
+	// pair-level fan-out of Exec. Parallel kernels are byte-identical to
+	// sequential ones, so reports do not depend on it. Leave Kernel.Pool
+	// nil when Exec is an engine.Pool — the per-pair tasks already run on
+	// that pool, and a nested fan-out onto the same semaphore would
+	// deadlock; Kernel.Workers alone spawns private bounded goroutines.
+	Kernel sched.Options
 }
 
 func (o Options) q2() int {
@@ -131,9 +148,12 @@ func (o Options) ctx() context.Context {
 // the check's context and budget into the expansion.
 func (o Options) fdist(ctx context.Context, w psioa.PSIOA, s sched.Scheduler) (*measure.Dist[string], error) {
 	if o.Memo != nil {
+		if mo, ok := o.Memo.(MemoOpts); ok {
+			return mo.FDistOpts(ctx, w, s, o.Insight, o.depth(), o.Budget, o.Kernel)
+		}
 		return o.Memo.FDistCtx(ctx, w, s, o.Insight, o.depth(), o.Budget)
 	}
-	return insight.FDistCtx(ctx, w, s, o.Insight, o.depth(), o.Budget)
+	return insight.FDistOpts(ctx, w, s, o.Insight, o.depth(), o.Budget, o.Kernel)
 }
 
 // runTasks executes n tasks through the executor, or sequentially (stopping

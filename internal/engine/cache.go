@@ -3,9 +3,11 @@ package engine
 import (
 	"container/list"
 	"context"
+	"hash/fnv"
 	"reflect"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/insight"
 	"repro/internal/measure"
@@ -28,6 +30,11 @@ var (
 // DefaultCacheSize is the default entry bound of a Cache.
 const DefaultCacheSize = 4096
 
+// DefaultCacheShards is the default lock-stripe count of a Cache. With the
+// kernels themselves now parallel, many goroutines hit the cache at once;
+// striping by key hash keeps them from serializing on a single mutex.
+const DefaultCacheShards = 8
+
 // maxFingerprintMemo bounds the identity-keyed fingerprint memo; when
 // exceeded it is dropped wholesale (fingerprints are recomputable).
 const maxFingerprintMemo = 8192
@@ -36,7 +43,11 @@ const maxFingerprintMemo = 8192
 // intermediate results of implementation checks: exploration results and
 // execution-measure distributions, keyed by a canonical automaton
 // fingerprint (plus scheduler name, insight id and depth). It implements
-// core.Memo, so it can be plugged into core.Options directly.
+// core.Memo (and core.MemoOpts), so it can be plugged into core.Options
+// directly. Storage is lock-striped: keys map to N independent mutex-LRU
+// shards by key hash, so the concurrent callers of the parallel kernels do
+// not serialize on a single mutex, while hit/miss/eviction counters stay
+// aggregated.
 //
 // Cached values are shared between callers and must be treated as
 // read-only; everything the engine caches (Exploration, ExecMeasure,
@@ -49,12 +60,22 @@ const maxFingerprintMemo = 8192
 // behaviour on the same automaton would alias and must not be mixed with a
 // shared cache.
 type Cache struct {
-	mu      sync.Mutex
-	cap     int
+	shards  []cacheShard
+	size    atomic.Int64 // total entries across shards (feeds gCacheSize)
 	fpLimit int
-	ll      *list.List // front = most recently used
-	items   map[string]*list.Element
+	fpMu    sync.Mutex
 	fps     map[psioa.PSIOA]string
+}
+
+// cacheShard is one mutex-striped LRU unit. Keys map to shards by fnv-1a
+// hash, which is stable across runs, so a fixed operation sequence always
+// touches the same shards in the same order and per-shard LRU eviction
+// order is deterministic.
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
 }
 
 type centry struct {
@@ -63,75 +84,115 @@ type centry struct {
 }
 
 // NewCache returns a cache bounded to capacity entries (DefaultCacheSize if
-// capacity <= 0), fingerprinting automata with DefaultFingerprintLimit.
+// capacity <= 0), striped across DefaultCacheShards locks and
+// fingerprinting automata with DefaultFingerprintLimit.
 func NewCache(capacity int) *Cache {
+	return NewCacheSharded(capacity, DefaultCacheShards)
+}
+
+// NewCacheSharded is NewCache with an explicit lock-stripe count. Capacity
+// is divided across shards (rounded up, and shards are clamped to the
+// capacity), so each shard evicts independently in its own deterministic
+// LRU order; a single shard reproduces the exact global LRU of the
+// unstriped cache.
+func NewCacheSharded(capacity, shards int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheSize
 	}
-	return &Cache{
-		cap:     capacity,
+	if shards <= 0 {
+		shards = DefaultCacheShards
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	per := (capacity + shards - 1) / shards
+	c := &Cache{
+		shards:  make([]cacheShard, shards),
 		fpLimit: DefaultFingerprintLimit,
-		ll:      list.New(),
-		items:   make(map[string]*list.Element),
 		fps:     make(map[psioa.PSIOA]string),
 	}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[string]*list.Element)
+	}
+	return c
+}
+
+// Shards returns the lock-stripe count.
+func (c *Cache) Shards() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.shards)
+}
+
+// shard returns the stripe owning key.
+func (c *Cache) shard(key string) *cacheShard {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum64()%uint64(len(c.shards))]
 }
 
 // SetFingerprintLimit overrides the exploration bound used when
 // fingerprinting automata (see Fingerprint). Call before sharing the cache.
 func (c *Cache) SetFingerprintLimit(limit int) { c.fpLimit = limit }
 
-// Len returns the current number of cached entries.
+// Len returns the current number of cached entries across all shards.
 func (c *Cache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.items)
+	return int(c.size.Load())
 }
 
-// Get returns the cached value for key, marking it most recently used.
-// Under an armed cache.evict fault point a present entry is dropped and
-// reported as a miss, forcing recomputation downstream.
+// Get returns the cached value for key, marking it most recently used in
+// its shard. Under an armed cache.evict fault point a present entry is
+// dropped and reported as a miss, forcing recomputation downstream.
 func (c *Cache) Get(key string) (any, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[key]
 	if !ok {
 		cCacheMisses.Inc()
 		return nil, false
 	}
 	if resilience.Fire(resilience.FaultCacheEvict) {
-		c.ll.Remove(el)
-		delete(c.items, key)
-		gCacheSize.Set(int64(len(c.items)))
+		sh.ll.Remove(el)
+		delete(sh.items, key)
+		gCacheSize.Set(c.size.Add(-1))
 		cCacheEvictions.Inc()
 		cCacheMisses.Inc()
 		return nil, false
 	}
 	cCacheHits.Inc()
-	c.ll.MoveToFront(el)
+	sh.ll.MoveToFront(el)
 	return el.Value.(*centry).val, true
 }
 
-// Put stores a value, evicting least-recently-used entries over capacity.
+// Put stores a value, evicting the shard's least-recently-used entries over
+// its capacity. Aggregate hit/miss/eviction counters and the size gauge are
+// shared across shards.
 func (c *Cache) Put(key string, v any) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[key]; ok {
 		el.Value.(*centry).val = v
-		c.ll.MoveToFront(el)
+		sh.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&centry{key: key, val: v})
-	for len(c.items) > c.cap {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.items, back.Value.(*centry).key)
+	sh.items[key] = sh.ll.PushFront(&centry{key: key, val: v})
+	n := int64(1)
+	for len(sh.items) > sh.cap {
+		back := sh.ll.Back()
+		sh.ll.Remove(back)
+		delete(sh.items, back.Value.(*centry).key)
 		cCacheEvictions.Inc()
+		n--
 	}
-	gCacheSize.Set(int64(len(c.items)))
+	gCacheSize.Set(c.size.Add(n))
 }
 
 // Fingerprint returns the canonical fingerprint of a, memoized by identity
@@ -141,9 +202,9 @@ func (c *Cache) Put(key string, v any) {
 func (c *Cache) Fingerprint(a psioa.PSIOA) (string, error) {
 	cmp := reflect.TypeOf(a).Comparable()
 	if cmp {
-		c.mu.Lock()
+		c.fpMu.Lock()
 		fp, ok := c.fps[a]
-		c.mu.Unlock()
+		c.fpMu.Unlock()
 		if ok {
 			return fp, nil
 		}
@@ -153,12 +214,12 @@ func (c *Cache) Fingerprint(a psioa.PSIOA) (string, error) {
 		return "", err
 	}
 	if cmp {
-		c.mu.Lock()
+		c.fpMu.Lock()
 		if len(c.fps) >= maxFingerprintMemo {
 			c.fps = make(map[psioa.PSIOA]string)
 		}
 		c.fps[a] = fp
-		c.mu.Unlock()
+		c.fpMu.Unlock()
 	}
 	return fp, nil
 }
@@ -223,6 +284,30 @@ func (c *Cache) MeasureCtx(ctx context.Context, a psioa.PSIOA, s sched.Scheduler
 	return em, nil
 }
 
+// MeasureOpts is MeasureCtx computing misses with the parallel
+// level-synchronous kernel. Parallel and sequential expansions are
+// byte-identical, so they share cache keys: a measure expanded at one
+// worker count is reused at any other. Partial results are never cached.
+func (c *Cache) MeasureOpts(ctx context.Context, a psioa.PSIOA, s sched.Scheduler, maxDepth int, b *resilience.Budget, o sched.Options) (*sched.ExecMeasure, error) {
+	if c == nil {
+		return sched.MeasureOpts(ctx, a, s, maxDepth, b, o)
+	}
+	fp, err := c.Fingerprint(a)
+	if err != nil {
+		return nil, err
+	}
+	key := "measure|" + fp + "|" + s.Name() + "|" + strconv.Itoa(maxDepth)
+	if v, ok := c.Get(key); ok {
+		return v.(*sched.ExecMeasure), nil
+	}
+	em, err := sched.MeasureOpts(ctx, a, s, maxDepth, b, o)
+	if err != nil {
+		return em, err
+	}
+	c.Put(key, em)
+	return em, nil
+}
+
 // FDist is a memoizing insight.FDist, the hot path of Implements: the image
 // distribution is cached per (automaton, scheduler, insight, depth), and a
 // miss reuses a cached execution measure when one exists. A nil cache
@@ -247,6 +332,43 @@ func (c *Cache) FDistCtx(ctx context.Context, w psioa.PSIOA, s sched.Scheduler, 
 		return v.(*measure.Dist[string]), nil
 	}
 	em, err := c.MeasureCtx(ctx, w, s, maxDepth, b)
+	if err != nil {
+		return nil, err
+	}
+	img := em.Image(func(fr *psioa.Frag) string { return f.Apply(w, fr) })
+	c.Put(key, img)
+	return img, nil
+}
+
+// FDistOpts is FDistCtx with kernel options; it implements core.MemoOpts.
+// State-local insights under depth-oblivious schedulers compute on the
+// state-collapsed DAG (no tree expansion is performed or cached); other
+// misses reuse or expand the tree measure through MeasureOpts. Both routes
+// fill the same fdist key — the distributions agree — so DAG-computed
+// images are reused by tree-routed callers and vice versa.
+func (c *Cache) FDistOpts(ctx context.Context, w psioa.PSIOA, s sched.Scheduler, f insight.Insight, maxDepth int, b *resilience.Budget, o sched.Options) (*measure.Dist[string], error) {
+	if c == nil {
+		return insight.FDistOpts(ctx, w, s, f, maxDepth, b, o)
+	}
+	fp, err := c.Fingerprint(w)
+	if err != nil {
+		return nil, err
+	}
+	key := "fdist|" + fp + "|" + s.Name() + "|" + f.ID + "|" + strconv.Itoa(maxDepth)
+	if v, ok := c.Get(key); ok {
+		return v.(*measure.Dist[string]), nil
+	}
+	if f.StateLocal != nil {
+		if _, ok := sched.AsDepthOblivious(s); ok {
+			img, err := insight.FDistOpts(ctx, w, s, f, maxDepth, b, o)
+			if err != nil {
+				return nil, err
+			}
+			c.Put(key, img)
+			return img, nil
+		}
+	}
+	em, err := c.MeasureOpts(ctx, w, s, maxDepth, b, o)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,10 @@
 package engine_test
 
 import (
+	"fmt"
 	"math"
+	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/engine"
@@ -49,7 +52,9 @@ func TestFingerprintCanonical(t *testing.T) {
 
 func TestCacheLRUEviction(t *testing.T) {
 	ev0 := obs.C("engine.cache.evictions").Value()
-	c := engine.NewCache(2)
+	// A single shard pins the exact global LRU order; the striped default
+	// only guarantees LRU order per shard.
+	c := engine.NewCacheSharded(2, 1)
 	c.Put("a", 1)
 	c.Put("b", 2)
 	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
@@ -192,5 +197,85 @@ func TestSchedulerNameDisambiguates(t *testing.T) {
 	}
 	if em1.MaxLen() == em2.MaxLen() {
 		t.Errorf("bound-1 and bound-4 greedy measures alias: MaxLen %d both", em1.MaxLen())
+	}
+}
+
+// TestCacheStripedDeterminism pins the shard design: fnv-1a shard selection
+// is stable across runs, so a fixed operation sequence leaves the same
+// surviving keys for a fixed (capacity, shards) pair — per-shard LRU
+// eviction is deterministic at any stripe count.
+func TestCacheStripedDeterminism(t *testing.T) {
+	ops := func(c *engine.Cache) string {
+		for i := 0; i < 64; i++ {
+			c.Put(fmt.Sprintf("k%d", i), i)
+			if i%3 == 0 {
+				c.Get(fmt.Sprintf("k%d", i/2))
+			}
+		}
+		var surviving []string
+		for i := 0; i < 64; i++ {
+			k := fmt.Sprintf("k%d", i)
+			if _, ok := c.Get(k); ok {
+				surviving = append(surviving, k)
+			}
+		}
+		return strings.Join(surviving, ",")
+	}
+	for _, shards := range []int{1, 8} {
+		a := ops(engine.NewCacheSharded(16, shards))
+		b := ops(engine.NewCacheSharded(16, shards))
+		if a != b {
+			t.Errorf("shards=%d: same op sequence, different survivors:\n%s\nvs\n%s", shards, a, b)
+		}
+	}
+}
+
+// TestCacheShardedClamps pins the constructor invariants: stripes never
+// exceed capacity, defaults apply, and capacity stays an aggregate bound.
+func TestCacheShardedClamps(t *testing.T) {
+	if got := engine.NewCacheSharded(2, 8).Shards(); got != 2 {
+		t.Errorf("Shards() = %d, want clamped to capacity 2", got)
+	}
+	if got := engine.NewCacheSharded(0, 0).Shards(); got != engine.DefaultCacheShards {
+		t.Errorf("Shards() = %d, want default %d", got, engine.DefaultCacheShards)
+	}
+	c := engine.NewCacheSharded(16, 4)
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	// Per-shard caps round up, so the aggregate bound is capacity + shards-1
+	// in the worst hash skew.
+	if c.Len() > 16+3 {
+		t.Errorf("Len = %d after overfill, want <= 19", c.Len())
+	}
+}
+
+// TestCacheConcurrentAccess hammers the striped cache from many goroutines —
+// the race detector validates the locking, and the size gauge must settle to
+// the real entry count.
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := engine.NewCacheSharded(128, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%96)
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	n := 0
+	for i := 0; i < 96; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); ok {
+			n++
+		}
+	}
+	if c.Len() != n {
+		t.Errorf("Len = %d, but %d keys present", c.Len(), n)
 	}
 }

@@ -193,7 +193,7 @@ func (r *Runner) resolveAll(refs []string) ([]psioa.PSIOA, error) {
 // options assembles core.Options wired to the runner's pool, cache and the
 // job's budget.
 func (r *Runner) options(ctx context.Context, b *resilience.Budget) core.Options {
-	opt := core.Options{Ctx: ctx, Budget: b}
+	opt := core.Options{Ctx: ctx, Budget: b, Kernel: r.kernelOpts()}
 	if r.Pool != nil {
 		opt.Exec = r.Pool
 	}
@@ -201,6 +201,18 @@ func (r *Runner) options(ctx context.Context, b *resilience.Budget) core.Options
 		opt.Memo = r.Cache
 	}
 	return opt
+}
+
+// kernelOpts derives the sched kernel options from the runner's pool: the
+// worker count only, never the pool handle itself — check jobs already run
+// per-pair tasks on the pool, and a kernel fanning its frontier shards back
+// onto the same semaphore from inside one of those tasks would deadlock.
+// The kernels spawn private bounded goroutines instead.
+func (r *Runner) kernelOpts() sched.Options {
+	if r.Pool == nil {
+		return sched.Options{}
+	}
+	return sched.Options{Workers: r.Pool.Workers()}
 }
 
 // budget materialises the job's work budget; nil when the job sets none.
@@ -358,10 +370,12 @@ func (r *Runner) simulate(ctx context.Context, ss *SimulateSpec, bud *resilience
 		depth = 4*ss.Bound + 16
 	}
 	if ss.Samples > 0 {
+		// Index-substream sampling: the estimate is identical for any
+		// -workers setting (including 1), deterministic per seed.
 		stream := rng.New(ss.Seed)
-		d, err := sched.SampleImageCtx(ctx, w, s, stream, depth, ss.Samples, func(fr *psioa.Frag) string {
+		d, err := sched.SampleImageOpts(ctx, w, s, stream, depth, ss.Samples, func(fr *psioa.Frag) string {
 			return ins.Apply(w, fr)
-		}, bud)
+		}, bud, r.kernelOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -373,7 +387,7 @@ func (r *Runner) simulate(ctx context.Context, ss *SimulateSpec, bud *resilience
 			Outcomes:   outcomes(d),
 		}, nil
 	}
-	em, err := r.Cache.MeasureCtx(ctx, w, s, depth, bud)
+	em, err := r.Cache.MeasureOpts(ctx, w, s, depth, bud, r.kernelOpts())
 	if err != nil {
 		// Graceful degradation: a budget-bounded stop leaves an exact
 		// sub-probability prefix of ε_σ, which is a usable answer for a
@@ -396,7 +410,7 @@ func (r *Runner) simulate(ctx context.Context, ss *SimulateSpec, bud *resilience
 			Degraded:   err.Error(),
 		}, nil
 	}
-	img, err := r.Cache.FDistCtx(ctx, w, s, ins, depth, bud)
+	img, err := r.Cache.FDistOpts(ctx, w, s, ins, depth, bud, r.kernelOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -507,11 +521,15 @@ func SchemaByName(name string, templates [][]string) (sched.Schema, error) {
 }
 
 // InsightByName builds an insight function from its CLI/HTTP name:
-// trace | accept:<action> | print:<prefix>.
+// trace | final | accept:<action> | print:<prefix>. The final insight is
+// state-local, so depth-oblivious schedulers compute it on the
+// state-collapsed DAG kernel.
 func InsightByName(name string) (insight.Insight, error) {
 	switch {
 	case name == "" || name == "trace":
 		return insight.Trace(), nil
+	case name == "final":
+		return insight.Final(), nil
 	case strings.HasPrefix(name, "accept:"):
 		return insight.Accept(psioa.Action(strings.TrimPrefix(name, "accept:"))), nil
 	case strings.HasPrefix(name, "print:"):

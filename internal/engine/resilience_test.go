@@ -256,28 +256,34 @@ func TestChaosWorkerPanicsAndBreaker(t *testing.T) {
 
 // TestChaosCacheEviction injects cache evictions and verifies results stay
 // byte-identical: eviction only costs recomputation, never correctness.
+// It runs at shard counts 1 and 8 so both the single global LRU and the
+// striped per-shard LRUs keep the deterministic eviction order.
 func TestChaosCacheEviction(t *testing.T) {
-	r := engine.NewRunner(nil, engine.NewCache(64))
-	spec := &engine.SimulateSpec{Systems: []string{"coin:fair:x", "coin:env:x"}, Bound: 6}
-	baseline, err := r.Simulate(context.Background(), spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	restore := resilience.InstallInjector(
-		resilience.NewInjector(3).Arm(resilience.FaultCacheEvict, 0.5))
-	defer restore()
-	for i := 0; i < 8; i++ {
-		res, err := r.Simulate(context.Background(), spec)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if res.TotalMass != baseline.TotalMass || len(res.Outcomes) != len(baseline.Outcomes) {
-			t.Fatalf("run %d diverged under cache eviction: %+v vs %+v", i, res, baseline)
-		}
-		for j, o := range res.Outcomes {
-			if o != baseline.Outcomes[j] {
-				t.Fatalf("run %d outcome %d = %+v, want %+v", i, j, o, baseline.Outcomes[j])
+	for _, shards := range []int{1, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			r := engine.NewRunner(nil, engine.NewCacheSharded(64, shards))
+			spec := &engine.SimulateSpec{Systems: []string{"coin:fair:x", "coin:env:x"}, Bound: 6}
+			baseline, err := r.Simulate(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
+			restore := resilience.InstallInjector(
+				resilience.NewInjector(3).Arm(resilience.FaultCacheEvict, 0.5))
+			defer restore()
+			for i := 0; i < 8; i++ {
+				res, err := r.Simulate(context.Background(), spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.TotalMass != baseline.TotalMass || len(res.Outcomes) != len(baseline.Outcomes) {
+					t.Fatalf("run %d diverged under cache eviction: %+v vs %+v", i, res, baseline)
+				}
+				for j, o := range res.Outcomes {
+					if o != baseline.Outcomes[j] {
+						t.Fatalf("run %d outcome %d = %+v, want %+v", i, j, o, baseline.Outcomes[j])
+					}
+				}
+			}
+		})
 	}
 }

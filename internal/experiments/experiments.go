@@ -43,6 +43,13 @@ type Table struct {
 	Rows [][]string `json:"rows"`
 	// Verdict summarises whether the paper's claim held.
 	Verdict string `json:"verdict"`
+	// Workers is the worker count the experiment's kernels ran with
+	// (0 means the default sequential path and reports as 1).
+	Workers int `json:"workers,omitempty"`
+	// Kernel names the measure kernel exercised: "tree" (exact sequential
+	// expansion), "parallel" (sharded frontier expansion) or "dag"
+	// (state-collapsed forward propagation). Empty reports as "tree".
+	Kernel string `json:"kernel,omitempty"`
 	// Elapsed is the wall-clock runtime, filled in by Instrumented.
 	Elapsed time.Duration `json:"-"`
 }
@@ -59,18 +66,31 @@ type Result struct {
 	Verdict   string     `json:"verdict"`
 	Pass      bool       `json:"pass"`
 	ElapsedUS int64      `json:"elapsed_us"`
+	Workers   int        `json:"workers"`
+	Kernel    string     `json:"kernel"`
 	Header    []string   `json:"header"`
 	Rows      [][]string `json:"rows"`
 }
 
-// Result converts the table.
+// Result converts the table, defaulting the kernel provenance fields so
+// every benchmark object records how it was computed.
 func (t *Table) Result() Result {
+	workers := t.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	kernel := t.Kernel
+	if kernel == "" {
+		kernel = "tree"
+	}
 	return Result{
 		ID:        t.ID,
 		Title:     t.Title,
 		Verdict:   t.Verdict,
 		Pass:      t.Pass(),
 		ElapsedUS: t.Elapsed.Microseconds(),
+		Workers:   workers,
+		Kernel:    kernel,
 		Header:    t.Header,
 		Rows:      t.Rows,
 	}
@@ -1004,6 +1024,7 @@ func Runners() (ids []string, byID map[string]func() (*Table, error)) {
 		{"E13", E13CreationMonotonicity}, {"E14", E14CoinFlipping}, {"E15", E15FamilyEmulation},
 		{"E16", E16SchedulingRole}, {"E17", E17SamplingConvergence},
 		{"E18", E18EngineEquivalence},
+		{"E19", E19ParallelMeasure}, {"E20", E20DAGCollapse},
 	}
 	byID = make(map[string]func() (*Table, error), len(entries))
 	for _, e := range entries {

@@ -46,6 +46,12 @@ type Insight struct {
 	ID string
 	// Apply maps an execution of w to an element of G_E.
 	Apply func(w psioa.PSIOA, alpha *psioa.Frag) string
+	// StateLocal, when set, is the state-local factoring of Apply: it must
+	// satisfy Apply(w, α) == StateLocal(w, lstate(α), |α|) for every
+	// execution α. FDistOpts uses it to route depth-oblivious schedulers
+	// through the state-collapsed DAG kernel, which never materialises
+	// individual fragments. Trace-based insights leave it nil.
+	StateLocal func(w psioa.PSIOA, q psioa.State, depth int) string
 }
 
 // Trace is the trace insight: the full external trace of the composed
@@ -116,6 +122,23 @@ func Restrict(set psioa.ActionSet) Insight {
 	}
 }
 
+// Final is the state-local insight recording the final local state of the
+// execution. Because it factors through (lstate, depth), FDistOpts computes
+// it on the state-collapsed DAG for depth-oblivious schedulers — the
+// O(|states| × depth) fast path — while remaining well-defined (via Apply)
+// for every scheduler.
+func Final() Insight {
+	return Insight{
+		ID: "final",
+		Apply: func(w psioa.PSIOA, alpha *psioa.Frag) string {
+			return string(alpha.LState())
+		},
+		StateLocal: func(w psioa.PSIOA, q psioa.State, depth int) string {
+			return string(q)
+		},
+	}
+}
+
 // FDist computes f-dist_{(E,A)}(σ) (Def 3.5): the image measure of ε_σ
 // under the insight function, where w is the composed system E‖A and σ a
 // scheduler of w. maxDepth guards the exact expansion.
@@ -128,8 +151,34 @@ func FDist(w psioa.PSIOA, s sched.Scheduler, f Insight, maxDepth int) (*measure.
 // measure would silently misreport the perception, so any interruption —
 // budget included — returns nil with the classified error.
 func FDistCtx(ctx context.Context, w psioa.PSIOA, s sched.Scheduler, f Insight, maxDepth int, b *resilience.Budget) (*measure.Dist[string], error) {
+	return FDistOpts(ctx, w, s, f, maxDepth, b, sched.Options{})
+}
+
+// FDistOpts is FDistCtx with kernel options, routed automatically: a
+// state-local insight under a depth-oblivious scheduler computes on the
+// state-collapsed DAG kernel (no fragments materialised, O(|states| ×
+// depth)); everything else expands the exact tree, sharded across workers
+// when the options request parallelism. Both routes produce the same
+// distribution — bit for bit on dyadic workloads, up to float summation
+// order otherwise.
+func FDistOpts(ctx context.Context, w psioa.PSIOA, s sched.Scheduler, f Insight, maxDepth int, b *resilience.Budget, o sched.Options) (*measure.Dist[string], error) {
 	defer obs.Time("insight.fdist.us")()
-	em, err := sched.MeasureCtx(ctx, w, s, maxDepth, b)
+	if f.StateLocal != nil {
+		if dob, ok := sched.AsDepthOblivious(s); ok {
+			dm, err := sched.MeasureDAG(ctx, w, dob, maxDepth, b)
+			if err != nil {
+				return nil, err
+			}
+			cProbeCalls.Inc()
+			cProbeEvals.Add(int64(dm.Classes()))
+			img := dm.Image(func(q psioa.State, depth int) string { return f.StateLocal(w, q, depth) })
+			if tr := obs.Active(); tr.Enabled() {
+				tr.Emit(obs.Event{Kind: obs.KindProbe, Name: f.ID, Attr: s.Name(), N: int64(img.Len())})
+			}
+			return img, nil
+		}
+	}
+	em, err := sched.MeasureOpts(ctx, w, s, maxDepth, b, o)
 	if err != nil {
 		return nil, err
 	}

@@ -221,16 +221,37 @@ func (p *Product) Trans(q State, a Action) *Dist {
 		disabledPanic(p.id, q, a)
 	}
 	qs := p.Split(q)
-	factors := make([]*measure.Dist[string], len(p.comps))
+	// The product measure is built directly over the component
+	// distributions: non-participating components stay put (Dirac), so they
+	// contribute a fixed tuple slot instead of a factor, and participating
+	// factors are consumed in place — no per-factor copies, no intermediate
+	// product. Every tuple combination is emitted exactly once, so the
+	// result is independent of map iteration order.
+	factors := make([]*Dist, len(p.comps))
 	for i, c := range p.comps {
 		if c.Sig(qs[i]).Has(a) {
-			factors[i] = retype(c.Trans(qs[i], a))
-		} else {
-			factors[i] = measure.Dirac(string(qs[i]))
+			factors[i] = c.Trans(qs[i], a)
 		}
 	}
-	prod := measure.ProductN(factors, codec.EncodeTuple)
-	d := retypeBack(prod)
+	d := measure.New[State]()
+	parts := make([]string, len(p.comps))
+	var rec func(i int, pr float64)
+	rec = func(i int, pr float64) {
+		if i == len(factors) {
+			d.Add(State(codec.EncodeTuple(parts)), pr)
+			return
+		}
+		if factors[i] == nil {
+			parts[i] = string(qs[i])
+			rec(i+1, pr)
+			return
+		}
+		factors[i].ForEach(func(x State, px float64) {
+			parts[i] = string(x)
+			rec(i+1, pr*px)
+		})
+	}
+	rec(0, 1)
 	p.mu.Lock()
 	m := p.transCache[q]
 	if m == nil {
@@ -273,17 +294,4 @@ func (a *Atomic) CompatAt(q State) error {
 		return cc.CompatAt(q)
 	}
 	return nil
-}
-
-// retype converts Dist[State] to Dist[string] (states are strings).
-func retype(d *Dist) *measure.Dist[string] {
-	out := measure.New[string]()
-	d.ForEach(func(x State, pr float64) { out.Add(string(x), pr) })
-	return out
-}
-
-func retypeBack(d *measure.Dist[string]) *Dist {
-	out := measure.New[State]()
-	d.ForEach(func(x string, pr float64) { out.Add(State(x), pr) })
-	return out
 }

@@ -2,6 +2,7 @@ package psioa
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Renamed is the action-renaming operator of Def 2.8: r(A) renames, at each
@@ -10,13 +11,22 @@ import (
 type Renamed struct {
 	inner PSIOA
 	r     func(State, Action) Action
+
+	mu       sync.Mutex
+	sigCache map[State]Signature
+	preCache map[State]map[Action]Action
 }
 
 // Rename applies the state-dependent renaming r to A. For each state q,
 // r(q, ·) must be injective on sig(A)(q)^; Validate checks this on the
 // reachable fragment.
 func Rename(a PSIOA, r func(State, Action) Action) *Renamed {
-	return &Renamed{inner: a, r: r}
+	return &Renamed{
+		inner:    a,
+		r:        r,
+		sigCache: make(map[State]Signature),
+		preCache: make(map[State]map[Action]Action),
+	}
 }
 
 // RenameMap renames via a fixed, state-independent partial map; actions
@@ -29,12 +39,12 @@ func RenameMap(a PSIOA, m map[Action]Action) *Renamed {
 	for k, v := range m {
 		cp[k] = v
 	}
-	return &Renamed{inner: a, r: func(_ State, act Action) Action {
+	return Rename(a, func(_ State, act Action) Action {
 		if to, ok := cp[act]; ok {
 			return to
 		}
 		return act
-	}}
+	})
 }
 
 // ID implements PSIOA.
@@ -46,32 +56,57 @@ func (r *Renamed) Inner() PSIOA { return r.inner }
 // Start implements PSIOA.
 func (r *Renamed) Start() State { return r.inner.Start() }
 
-// Sig implements PSIOA per Def 2.8 item 3.
+// Sig implements PSIOA per Def 2.8 item 3. Results are cached per state —
+// r(q, ·) is a function, so the renamed signature at q never changes.
 func (r *Renamed) Sig(q State) Signature {
+	r.mu.Lock()
+	if sig, ok := r.sigCache[q]; ok {
+		r.mu.Unlock()
+		return sig
+	}
+	r.mu.Unlock()
 	inner := r.inner.Sig(q)
 	f := func(a Action) Action { return r.r(q, a) }
-	return Signature{
+	sig := Signature{
 		In:  inner.In.MapActions(f),
 		Out: inner.Out.MapActions(f),
 		Int: inner.Int.MapActions(f),
 	}
+	r.mu.Lock()
+	r.sigCache[q] = sig
+	r.mu.Unlock()
+	return sig
+}
+
+// preimages returns the inverse renaming at q, built once per state by
+// scanning the (finite) inner signature.
+func (r *Renamed) preimages(q State) map[Action]Action {
+	r.mu.Lock()
+	if pre, ok := r.preCache[q]; ok {
+		r.mu.Unlock()
+		return pre
+	}
+	r.mu.Unlock()
+	innerSig := r.inner.Sig(q).All()
+	pre := make(map[Action]Action, len(innerSig))
+	for a := range innerSig {
+		b := r.r(q, a)
+		if _, dup := pre[b]; dup {
+			panic(fmt.Sprintf("psioa: renaming of %q is not injective at state %q: two pre-images of %q", r.inner.ID(), q, b))
+		}
+		pre[b] = a
+	}
+	r.mu.Lock()
+	r.preCache[q] = pre
+	r.mu.Unlock()
+	return pre
 }
 
 // Trans implements PSIOA per Def 2.8 item 4: dtrans(r(A)) =
 // {(q, r(a), η) | (q, a, η) ∈ dtrans(A)}. The pre-image of the requested
-// action is found by scanning the (finite) inner signature.
+// action comes from the per-state inverse map.
 func (r *Renamed) Trans(q State, b Action) *Dist {
-	innerSig := r.inner.Sig(q).All()
-	var pre Action
-	found := false
-	for a := range innerSig {
-		if r.r(q, a) == b {
-			if found {
-				panic(fmt.Sprintf("psioa: renaming of %q is not injective at state %q: two pre-images of %q", r.inner.ID(), q, b))
-			}
-			pre, found = a, true
-		}
-	}
+	pre, found := r.preimages(q)[b]
 	if !found {
 		disabledPanic(r.ID(), q, b)
 	}

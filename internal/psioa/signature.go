@@ -87,6 +87,8 @@ func (s Signature) String() string {
 
 // CompatibleSignatures checks pairwise compatibility per Def 2.3: for any
 // two distinct signatures, (in ∪ out ∪ int) ∩ int′ = ∅ and out ∩ out′ = ∅.
+// Membership is probed directly so the compatible (common) case allocates
+// nothing; the offending intersections are materialised only for errors.
 func CompatibleSignatures(sigs []Signature) error {
 	for i := range sigs {
 		for j := range sigs {
@@ -94,12 +96,18 @@ func CompatibleSignatures(sigs []Signature) error {
 				continue
 			}
 			si, sj := sigs[i], sigs[j]
-			if inter := si.All().Intersect(sj.Int); len(inter) > 0 {
-				return fmt.Errorf("psioa: signature %d shares actions %v with internal actions of signature %d", i, inter, j)
+			for a := range sj.Int {
+				if si.In.Has(a) || si.Out.Has(a) || si.Int.Has(a) {
+					return fmt.Errorf("psioa: signature %d shares actions %v with internal actions of signature %d",
+						i, si.All().Intersect(sj.Int), j)
+				}
 			}
 			if i < j {
-				if inter := si.Out.Intersect(sj.Out); len(inter) > 0 {
-					return fmt.Errorf("psioa: signatures %d and %d share output actions %v", i, j, inter)
+				for a := range si.Out {
+					if sj.Out.Has(a) {
+						return fmt.Errorf("psioa: signatures %d and %d share output actions %v",
+							i, j, si.Out.Intersect(sj.Out))
+					}
 				}
 			}
 		}

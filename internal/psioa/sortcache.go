@@ -29,7 +29,14 @@ type sigIdent struct {
 	local          bool
 }
 
-const sortMemoLimit = 1 << 16
+// sortMemoLimit bounds the memo — and, because entries pin their
+// signature sets, the live heap the memo can hold across workloads. Hot
+// loops (repeated measures over one automaton) touch at most a few
+// thousand distinct signatures, so a small cap keeps their hit rate while
+// a state-space sweep that churns through hundreds of thousands of
+// signatures cannot leave hundreds of MB pinned for the GC to scan on
+// behalf of every later operation in the process.
+const sortMemoLimit = 1 << 13
 
 // memoEntry pins the signature's sets alongside the sorted slice. The
 // pinning is what makes identity keying sound: while an entry is live its
@@ -44,6 +51,18 @@ var (
 	sortMemoMu sync.RWMutex
 	sortMemo   = make(map[sigIdent]memoEntry)
 )
+
+// ResetSortMemo drops the process-global memo. Entries are recomputable, so
+// this only costs warm-up; callers that time independent workloads in one
+// process (benchmark harnesses) use it to unpin the previous workload's
+// signature sets — a handful of live entries scattered across an old
+// workload's spans keeps those spans in use, and every GC cycle of the next
+// workload re-sweeps them.
+func ResetSortMemo() {
+	sortMemoMu.Lock()
+	sortMemo = make(map[sigIdent]memoEntry)
+	sortMemoMu.Unlock()
+}
 
 func setPtr(s ActionSet) uintptr {
 	if s == nil {

@@ -22,8 +22,17 @@ func New(seed uint64) *Stream {
 // is deterministic in (parent seed material, index), so parallel experiment
 // arms get stable, non-overlapping streams.
 func (s *Stream) Split(index uint64) *Stream {
-	hi := s.r.Uint64()
-	return &Stream{r: rand.New(rand.NewPCG(hi^mix(index), mix(index+0x632be59bd9b4e019)))}
+	return Substream(s.r.Uint64(), index)
+}
+
+// Substream is the pure counterpart of Split: it derives the index-labelled
+// stream directly from raw seed material, without consuming any caller
+// state. Two calls with equal (material, index) return identical streams,
+// so workloads sharded by index — e.g. the parallel sampling kernel, which
+// draws the material once and derives one substream per sample — produce
+// the same randomness for any worker count and assignment order.
+func Substream(material, index uint64) *Stream {
+	return &Stream{r: rand.New(rand.NewPCG(material^mix(index), mix(index+0x632be59bd9b4e019)))}
 }
 
 func mix(x uint64) uint64 {

@@ -1,0 +1,309 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/measure"
+	"repro/internal/obs"
+	"repro/internal/psioa"
+	"repro/internal/resilience"
+)
+
+// Observability instruments for the state-collapsed DAG kernel. The nodes
+// counter measures the collapsed workload: on converging automata it stays
+// O(|reachable states| × depth) where the tree kernel's step counter grows
+// with the number of distinct executions.
+var (
+	cDagCalls = obs.C("sched.measure.dag.calls")
+	cDagNodes = obs.C("sched.measure.dag.nodes")
+)
+
+// DepthOblivious is the capability interface of schedulers whose choice
+// depends only on the fragment's last state and length — the oblivious
+// schema the paper singles out as sufficient for emulation correctness
+// (§4.4). For such a scheduler every fragment with equal (lstate, depth)
+// receives the same choice, so the execution tree of ε_σ collapses to a
+// DAG over (state, depth) classes and aggregate quantities — total mass,
+// halting mass, any state-local image — can be propagated forward in
+// O(|reachable states| × depth) instead of O(branching^depth).
+//
+// Implementations must guarantee Choose(α) == ChooseAt(lstate(α), |α|).
+type DepthOblivious interface {
+	Scheduler
+	// ChooseAt returns σ(α) for any fragment α with lstate(α) = q and
+	// |α| = depth.
+	ChooseAt(q psioa.State, depth int) *Choice
+}
+
+// ChooseAt implements DepthOblivious: step i deterministically triggers
+// Acts[i] when enabled at q and halts otherwise.
+func (s *Sequence) ChooseAt(q psioa.State, depth int) *Choice {
+	if depth >= len(s.Acts) {
+		return Halt()
+	}
+	if !enabledHas(s.A.Sig(q), s.Acts[depth], s.LocalOnly) {
+		return Halt()
+	}
+	return diracChoice(s.Acts[depth])
+}
+
+// ChooseAt implements DepthOblivious: uniform over the actions enabled at
+// q, halting at the bound.
+func (r *Random) ChooseAt(q psioa.State, depth int) *Choice {
+	if depth >= r.Bound {
+		return Halt()
+	}
+	enabled := enabledSorted(r.A.Sig(q), r.LocalOnly)
+	if len(enabled) == 0 {
+		return Halt()
+	}
+	return uniformChoice(enabled)
+}
+
+// ChooseAt implements DepthOblivious: the first enabled action of the
+// priority order at q, halting at the bound.
+func (p *Priority) ChooseAt(q psioa.State, depth int) *Choice {
+	if depth >= p.Bound {
+		return Halt()
+	}
+	sig := p.A.Sig(q)
+	for _, a := range p.Order {
+		if enabledHas(sig, a, p.LocalOnly) {
+			return diracChoice(a)
+		}
+	}
+	return Halt()
+}
+
+// ChooseAt implements DepthOblivious: the lexicographically-first enabled
+// action at q, halting at the bound.
+func (g *Greedy) ChooseAt(q psioa.State, depth int) *Choice {
+	if depth >= g.Bound {
+		return Halt()
+	}
+	enabled := enabledSorted(g.A.Sig(q), g.LocalOnly)
+	if len(enabled) == 0 {
+		return Halt()
+	}
+	return diracChoice(enabled[0])
+}
+
+// boundedOblivious adapts Bounded over a depth-oblivious inner scheduler:
+// the wrapper consults only the depth, so obliviousness is preserved.
+type boundedOblivious struct {
+	*Bounded
+	inner DepthOblivious
+}
+
+func (b *boundedOblivious) ChooseAt(q psioa.State, depth int) *Choice {
+	if depth >= b.B {
+		return Halt()
+	}
+	return b.inner.ChooseAt(q, depth)
+}
+
+// AsDepthOblivious reports whether s exposes the DepthOblivious capability,
+// unwrapping Bounded around an oblivious inner scheduler. The DAG kernel
+// and the FDist routing use it to pick the collapsed fast path
+// automatically; schedulers that inspect the fragment itself (TaskSchedule,
+// FuncSched, ViewScheduler, Mix over arbitrary inners) fall back to the
+// exact tree expansion.
+func AsDepthOblivious(s Scheduler) (DepthOblivious, bool) {
+	switch x := s.(type) {
+	case *Bounded:
+		inner, ok := AsDepthOblivious(x.Inner)
+		if !ok {
+			return nil, false
+		}
+		return &boundedOblivious{Bounded: x, inner: inner}, true
+	case DepthOblivious:
+		return x, true
+	}
+	return nil, false
+}
+
+// dagHalt is one (state, depth) halting class with its aggregated mass.
+type dagHalt struct {
+	q     psioa.State
+	depth int
+	p     float64
+}
+
+// DAGMeasure is the state-collapsed form of ε_σ produced by MeasureDAG:
+// halting mass aggregated per (state, depth) class, recorded in propagation
+// order (depth ascending, states sorted within a depth). It supports every
+// aggregate that does not need individual execution fragments — total mass,
+// max length, state-local images; cones and prefix enumeration need the
+// tree kernel. On the dyadic workloads pinned in equivalence_test.go all
+// float sums are exact, so the aggregates agree bit for bit with the tree
+// kernel's; in general they agree up to float summation order.
+type DAGMeasure struct {
+	halts  []dagHalt
+	total  float64
+	maxLen int
+}
+
+// Total returns the aggregated halting mass; 1 for schedulers that always
+// eventually halt. The sum accumulates in propagation order, which is
+// deterministic.
+func (dm *DAGMeasure) Total() float64 { return dm.total }
+
+// MaxLen returns the depth of the deepest halting class.
+func (dm *DAGMeasure) MaxLen() int { return dm.maxLen }
+
+// Classes returns the number of (state, depth) halting classes — the
+// collapsed analogue of ExecMeasure.Len (which counts executions).
+func (dm *DAGMeasure) Classes() int { return len(dm.halts) }
+
+// ForEach visits every halting class in deterministic propagation order.
+func (dm *DAGMeasure) ForEach(visit func(q psioa.State, depth int, p float64)) {
+	for _, h := range dm.halts {
+		visit(h.q, h.depth, h.p)
+	}
+}
+
+// Image returns the image measure of ε_σ under a state-local functional —
+// the collapsed analogue of ExecMeasure.Image for insights that depend only
+// on (lstate, depth). Mass accumulates in propagation order.
+func (dm *DAGMeasure) Image(f func(q psioa.State, depth int) string) *measure.Dist[string] {
+	d := measure.New[string]()
+	for _, h := range dm.halts {
+		d.Add(f(h.q, h.depth), h.p)
+	}
+	return d
+}
+
+// MeasureDAG computes the state-collapsed form of ε_σ by forward-propagating
+// aggregated state mass level by level: all fragments sharing (lstate,
+// depth) receive the same choice from a depth-oblivious scheduler, so they
+// are merged into one node. Validation (sub-probability choices, enabled
+// actions, the maxDepth guard) and pruning mirror MeasureCtx; cancellation
+// and budgets thread through the same checkpoint with the same typed
+// sentinels, and a budget-bounded stop returns the sound sub-probability
+// prefix aggregated so far.
+func MeasureDAG(ctx context.Context, a psioa.PSIOA, s DepthOblivious, maxDepth int, b *resilience.Budget) (*DAGMeasure, error) {
+	sp := obs.Begin("sched.measure.dag", s.Name())
+	defer sp.End()
+	defer obs.Time("sched.measure.dag.us")()
+	cDagCalls.Inc()
+	if err := resilience.FireDelay(ctx, resilience.FaultSlowOp); err != nil {
+		return nil, err
+	}
+	dm := &DAGMeasure{}
+	start := a.Start()
+	if maxDepth <= 0 {
+		// Depth 0 admits only the empty execution: ε_σ is the Dirac measure
+		// on the start state, exactly as in MeasureCtx.
+		dm.halts = append(dm.halts, dagHalt{q: start, depth: 0, p: 1})
+		dm.total = 1
+		return dm, nil
+	}
+	ck := resilience.NewCheckpoint(ctx, b)
+	cur := map[psioa.State]float64{start: 1}
+	order := []psioa.State{start}
+	var err, stopped error
+	var nodes int64
+outer:
+	for d := 0; len(order) > 0; d++ {
+		next := make(map[psioa.State]float64)
+		var nextOrder []psioa.State
+		for _, q := range order {
+			m := cur[q]
+			if m < pruneBelow {
+				continue
+			}
+			if stopped = ck.Step(1, 0); stopped != nil {
+				break outer
+			}
+			nodes++
+			choice := s.ChooseAt(q, d)
+			if !choice.IsSubProb() {
+				err = fmt.Errorf("sched: scheduler %q returned mass %v > 1 at state %q depth %d: %w", s.Name(), choice.Total(), q, d, ErrOverMass)
+				break outer
+			}
+			if halt := choice.Deficit(); halt > pruneBelow {
+				dm.halts = append(dm.halts, dagHalt{q: q, depth: d, p: m * halt})
+				dm.total += m * halt
+				if d > dm.maxLen {
+					dm.maxLen = d
+				}
+			}
+			if choice.Total() <= pruneBelow {
+				continue
+			}
+			if d >= maxDepth {
+				err = fmt.Errorf("sched: scheduler %q schedules past depth %d at state %q: %w", s.Name(), maxDepth, q, ErrDepthExceeded)
+				break outer
+			}
+			sig := a.Sig(q)
+			var kids int64
+			for _, act := range choice.SortedSupport() {
+				pa := choice.P(act)
+				if pa <= 0 {
+					continue
+				}
+				if !sig.Has(act) {
+					err = fmt.Errorf("sched: scheduler %q chose disabled action %q at state %q depth %d: %w", s.Name(), act, q, d, ErrDisabledAction)
+					break outer
+				}
+				resilience.FirePanic(resilience.FaultTransitionPanic)
+				eta := a.Trans(q, act)
+				for _, q2 := range eta.SortedSupport() {
+					pq := eta.P(q2)
+					if pq <= 0 {
+						continue
+					}
+					if _, seen := next[q2]; !seen {
+						nextOrder = append(nextOrder, q2)
+					}
+					// Mass accumulates in (source state, action, successor)
+					// sorted order — deterministic for a fixed workload.
+					next[q2] += m * pa * pq
+					kids++
+				}
+			}
+			if stopped = ck.Step(0, kids); stopped != nil {
+				break outer
+			}
+		}
+		sort.Slice(nextOrder, func(i, j int) bool { return nextOrder[i] < nextOrder[j] })
+		cur, order = next, nextOrder
+	}
+	if err == nil && stopped == nil {
+		stopped = ck.Finish()
+	}
+	cDagNodes.Add(nodes)
+	if err != nil {
+		return nil, err
+	}
+	if stopped != nil {
+		if resilience.IsBudget(stopped) {
+			// Graceful degradation: the classes aggregated so far carry an
+			// exact sub-probability prefix of ε_σ's halting mass.
+			return dm, stopped
+		}
+		return nil, stopped
+	}
+	return dm, nil
+}
+
+// MeasureTotalCtx computes Total and MaxLen of ε_σ, routing through the
+// state-collapsed DAG kernel when the scheduler is depth-oblivious and
+// falling back to the exact tree expansion otherwise. Callers that need
+// fragments (cones, prefix enumeration) must use MeasureCtx/MeasureOpts.
+func MeasureTotalCtx(ctx context.Context, a psioa.PSIOA, s Scheduler, maxDepth int, b *resilience.Budget) (total float64, maxLen int, err error) {
+	if dob, ok := AsDepthOblivious(s); ok {
+		dm, derr := MeasureDAG(ctx, a, dob, maxDepth, b)
+		if derr != nil {
+			return 0, 0, derr
+		}
+		return dm.Total(), dm.MaxLen(), nil
+	}
+	em, merr := MeasureCtx(ctx, a, s, maxDepth, b)
+	if merr != nil {
+		return 0, 0, merr
+	}
+	return em.Total(), em.MaxLen(), nil
+}

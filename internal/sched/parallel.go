@@ -1,0 +1,399 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/measure"
+	"repro/internal/obs"
+	"repro/internal/psioa"
+	"repro/internal/resilience"
+	"repro/internal/rng"
+)
+
+// Executor abstracts the worker pool the parallel kernels fan out on. It is
+// the engine.Pool surface restated here so sched does not import engine
+// (engine already imports sched).
+type Executor interface {
+	// Map runs fn(0..n-1) with bounded parallelism and returns the
+	// lowest-index task error.
+	Map(ctx context.Context, n int, fn func(i int) error) error
+	// Workers returns the executor's worker budget.
+	Workers() int
+}
+
+// Options configures the parallel kernels. The zero value runs everything
+// sequentially, byte-identical to MeasureCtx/SampleImageCtx.
+type Options struct {
+	// Workers is the shard count of the level-synchronous expansion and the
+	// sampling fan-out. Zero defaults to Pool.Workers() when Pool is set,
+	// else 1 (sequential).
+	Workers int
+	// Pool, when set, runs the shards; otherwise the kernel spawns its own
+	// bounded goroutines. Do not pass a pool from inside one of its own
+	// Map tasks — the nested fan-out would deadlock on the pool semaphore;
+	// set Workers only in that case.
+	Pool Executor
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	if o.Pool != nil {
+		return o.Pool.Workers()
+	}
+	return 1
+}
+
+// Parallel reports whether the options request a parallel kernel.
+func (o Options) Parallel() bool { return o.workers() > 1 }
+
+// run executes fn(0..n-1) concurrently: on the configured pool when one is
+// set, else on private goroutines (one per shard; n is already bounded by
+// the worker count). Panics are isolated into *resilience.PanicError task
+// failures either way, and the lowest-index failure wins.
+func (o Options) run(ctx context.Context, n int, fn func(i int) error) error {
+	if o.Pool != nil {
+		return o.Pool.Map(ctx, n, fn)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = resilience.Catch(func() error { return fn(i) })
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// span is a contiguous index range of one shard.
+type span struct{ lo, hi int }
+
+// splitSpans partitions [0, n) into at most parts contiguous ranges whose
+// sizes differ by at most one. The partition depends only on (n, parts), so
+// shard boundaries are deterministic.
+func splitSpans(n, parts int) []span {
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([]span, 0, parts)
+	base, rem := n/parts, n%parts
+	lo := 0
+	for i := 0; i < parts; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		out = append(out, span{lo, lo + sz})
+		lo += sz
+	}
+	return out
+}
+
+// parItem is one frontier node of the level-synchronous expansion.
+type parItem struct {
+	f *psioa.Frag
+	p float64
+}
+
+// parShard is the private output of one worker's frontier range: completed
+// work in frontier-index order plus the first validation error or
+// checkpoint stop, tagged with its global frontier index so the merge can
+// pick a deterministic winner across any worker count.
+type parShard struct {
+	prefixes []*psioa.Frag
+	halts    []weightedFrag
+	events   []obs.Event
+	next     []parItem
+	steps    int64
+	haltn    int64
+	err      error
+	errIdx   int
+	stop     error
+	stopIdx  int
+}
+
+// parMinFrontier is the frontier size below which a level is expanded
+// inline: sharding a near-empty level costs more in goroutine handoff than
+// the expansion itself. The merge order is index-based either way, so the
+// result does not depend on which path ran.
+const parMinFrontier = 8
+
+// MeasureOpts is MeasureCtx with a parallel level-synchronous expansion:
+// each depth's frontier is sharded across workers by contiguous index
+// ranges, every worker expands its range into private buffers, and the
+// merge reassembles them in frontier-index order — so fragment insertion
+// order, float summation order and trace emission are deterministic and the
+// resulting measure is byte-identical to the sequential kernel for any
+// worker count. Sequential options (workers <= 1) route straight to
+// MeasureCtx.
+//
+// Cancellation and budgets thread through per-worker checkpoints sharing
+// the job's budget, with the sequential kernel's typed sentinels: a
+// budget-bounded stop merges the completed prefix work — an exact
+// sub-probability prefix of ε_σ — and returns it with the budget error;
+// context termination returns nil with ErrCancelled/ErrDeadline. Unlike the
+// sequential kernel, a panic inside a worker (e.g. an injected
+// transition.panic fault) surfaces as a *resilience.PanicError return
+// instead of propagating, matching engine.Pool.Map's isolation. Trace
+// events are emitted in breadth-first rather than depth-first order.
+func MeasureOpts(ctx context.Context, a psioa.PSIOA, s Scheduler, maxDepth int, b *resilience.Budget, o Options) (*ExecMeasure, error) {
+	if !o.Parallel() || maxDepth <= 0 {
+		return MeasureCtx(ctx, a, s, maxDepth, b)
+	}
+	sp := obs.Begin("sched.measure.par", s.Name())
+	defer sp.End()
+	defer obs.Time("sched.measure.par.us")()
+	if err := resilience.FireDelay(ctx, resilience.FaultSlowOp); err != nil {
+		return nil, err
+	}
+	workers := o.workers()
+	tr := obs.Active()
+	traced := tr.Enabled()
+	em := &ExecMeasure{
+		frags: make(map[string]weightedFrag),
+	}
+	frontier := []parItem{{psioa.NewFrag(a.Start()), 1}}
+	var steps, halts int64
+	var err, stopped error
+	for len(frontier) > 0 && err == nil && stopped == nil {
+		parts := workers
+		if len(frontier) < parMinFrontier {
+			parts = 1
+		}
+		spans := splitSpans(len(frontier), parts)
+		outs := make([]parShard, len(spans))
+		var runErr error
+		if len(spans) == 1 {
+			expandShard(ctx, a, s, maxDepth, b, frontier, 0, traced, &outs[0])
+		} else {
+			runErr = o.run(ctx, len(spans), func(i int) error {
+				expandShard(ctx, a, s, maxDepth, b, frontier[spans[i].lo:spans[i].hi], spans[i].lo, traced, &outs[i])
+				return nil
+			})
+		}
+		// Deterministic winner: the validation error or checkpoint stop
+		// with the smallest global frontier index, independent of worker
+		// count (shards partition the frontier, so indices never tie).
+		errIdx, stopIdx := -1, -1
+		for i := range outs {
+			steps += outs[i].steps
+			halts += outs[i].haltn
+			if outs[i].err != nil && (errIdx < 0 || outs[i].errIdx < errIdx) {
+				err, errIdx = outs[i].err, outs[i].errIdx
+			}
+			if outs[i].stop != nil && (stopIdx < 0 || outs[i].stopIdx < stopIdx) {
+				stopped, stopIdx = outs[i].stop, outs[i].stopIdx
+			}
+		}
+		if errIdx < 0 && runErr != nil {
+			// A panic escaped a shard (isolated into a PanicError) or the
+			// executor observed the cancelled context; treat it as an error
+			// with no partial result.
+			err, errIdx = runErr, 0
+		}
+		if errIdx >= 0 && (stopIdx < 0 || errIdx <= stopIdx) {
+			stopped = nil
+			break
+		}
+		if stopIdx >= 0 {
+			err = nil
+		}
+		// Index-ordered merge: shard outputs are concatenated in frontier
+		// order, so map insertion, halting-mass accumulation, trace
+		// emission and the next frontier all match a sequential
+		// breadth-first expansion.
+		next := make([]parItem, 0, len(frontier))
+		for i := range outs {
+			em.prefList = append(em.prefList, outs[i].prefixes...)
+			for _, wf := range outs[i].halts {
+				em.add(wf.frag, wf.p)
+			}
+			if traced {
+				for _, ev := range outs[i].events {
+					tr.Emit(ev)
+				}
+			}
+			next = append(next, outs[i].next...)
+		}
+		frontier = next
+	}
+	cMeasureCalls.Inc()
+	cMeasureSteps.Add(steps)
+	cMeasureHalts.Add(halts)
+	cMeasureFrags.Add(int64(len(em.prefList)))
+	gMeasureSupport.SetMax(int64(len(em.frags)))
+	obs.H("sched.measure.support").Observe(float64(len(em.frags)))
+	if err != nil {
+		return nil, err
+	}
+	if stopped != nil {
+		if resilience.IsBudget(stopped) {
+			// Graceful degradation: every merged item was fully expanded,
+			// so the measure is an exact sub-probability prefix of ε_σ.
+			return em, stopped
+		}
+		return nil, stopped
+	}
+	return em, nil
+}
+
+// expandShard expands frontier items [base, base+len(items)) into out,
+// mirroring the sequential MeasureCtx loop body exactly: same pruning, same
+// validation errors, same (action, successor) child order, same checkpoint
+// charges. Scheduler choices and automaton transitions must be safe for
+// concurrent use (all built-in schedulers are; their choice caches are
+// locked and their identifying fields are read-only). Fragment keys are
+// forced here so the single-threaded merge does no hashing; the level
+// barrier gives the required happens-before between a parent's first Key
+// call and its children's.
+func expandShard(ctx context.Context, a psioa.PSIOA, s Scheduler, maxDepth int, b *resilience.Budget, items []parItem, base int, traced bool, out *parShard) {
+	ck := resilience.NewCheckpoint(ctx, b)
+	for j := range items {
+		f, p := items[j].f, items[j].p
+		if p < pruneBelow {
+			continue
+		}
+		if stop := ck.Step(1, 0); stop != nil {
+			out.stop, out.stopIdx = stop, base+j
+			return
+		}
+		f.Key()
+		out.prefixes = append(out.prefixes, f)
+		choice := s.Choose(f)
+		out.steps++
+		if !choice.IsSubProb() {
+			out.err = fmt.Errorf("sched: scheduler %q returned mass %v > 1 at %v: %w", s.Name(), choice.Total(), f, ErrOverMass)
+			out.errIdx = base + j
+			return
+		}
+		if halt := choice.Deficit(); halt > pruneBelow {
+			out.halts = append(out.halts, weightedFrag{frag: f, p: p * halt})
+			out.haltn++
+			if traced {
+				out.events = append(out.events, obs.Event{Kind: obs.KindSchedHalt, Name: s.Name(), N: int64(f.Len()), V: p * halt})
+			}
+		}
+		if choice.Total() <= pruneBelow {
+			continue
+		}
+		if f.Len() >= maxDepth {
+			out.err = fmt.Errorf("sched: scheduler %q schedules past depth %d at fragment %v: %w", s.Name(), maxDepth, f, ErrDepthExceeded)
+			out.errIdx = base + j
+			return
+		}
+		lst := f.LState()
+		sig := a.Sig(lst)
+		kidStart := len(out.next)
+		for _, act := range choice.SortedSupport() {
+			pa := choice.P(act)
+			if pa <= 0 {
+				continue
+			}
+			if !sig.Has(act) {
+				out.err = fmt.Errorf("sched: scheduler %q chose disabled action %q at %v: %w", s.Name(), act, f, ErrDisabledAction)
+				out.errIdx = base + j
+				return
+			}
+			if traced {
+				out.events = append(out.events, obs.Event{Kind: obs.KindSchedStep, Name: s.Name(), Attr: string(act), N: int64(f.Len()), V: p * pa})
+			}
+			resilience.FirePanic(resilience.FaultTransitionPanic)
+			eta := a.Trans(lst, act)
+			for _, q2 := range eta.SortedSupport() {
+				pq := eta.P(q2)
+				if pq <= 0 {
+					continue
+				}
+				out.next = append(out.next, parItem{f.Extend(act, q2), p * pa * pq})
+			}
+		}
+		if stop := ck.Step(0, int64(len(out.next)-kidStart)); stop != nil {
+			out.stop, out.stopIdx = stop, base+j
+			return
+		}
+	}
+	if stop := ck.Finish(); stop != nil {
+		out.stop, out.stopIdx = stop, base+len(items)
+	}
+}
+
+// SampleImageOpts estimates the image measure of ε_σ under f from n
+// samples, sharded across workers by sample index. One 64-bit draw from the
+// caller's stream seeds a pure per-sample substream (rng.Substream), and
+// sample keys merge into the distribution in index order — so the result is
+// identical for any worker count, including 1, and the caller's stream
+// advances by exactly one draw regardless of n. The sample sequence is by
+// construction different from the serial-stream SampleImageCtx, which is
+// left untouched (its goldens are pinned).
+//
+// Monte-Carlo estimates stay unbiased only at the full sample count, so —
+// like SampleImageCtx — any interruption returns nil with the classified
+// error (lowest sample index wins, deterministically). f must be safe for
+// concurrent calls.
+func SampleImageOpts(ctx context.Context, a psioa.PSIOA, s Scheduler, stream *rng.Stream, maxDepth, n int, f func(*psioa.Frag) string, b *resilience.Budget, o Options) (*measure.Dist[string], error) {
+	material := stream.Uint64()
+	keys := make([]string, n)
+	spans := splitSpans(n, o.workers())
+	outs := make([]parShard, len(spans))
+	sampleRange := func(i int) {
+		lo, hi := spans[i].lo, spans[i].hi
+		ck := resilience.NewCheckpoint(ctx, b)
+		for k := lo; k < hi; k++ {
+			fr, err := Sample(a, s, rng.Substream(material, uint64(k)), maxDepth)
+			if err != nil {
+				outs[i].err, outs[i].errIdx = err, k
+				return
+			}
+			if err := ck.Step(1, int64(fr.Len())); err != nil {
+				outs[i].err, outs[i].errIdx = err, k
+				return
+			}
+			keys[k] = f(fr)
+		}
+		if err := ck.Finish(); err != nil {
+			outs[i].err, outs[i].errIdx = err, hi
+		}
+	}
+	var runErr error
+	if len(spans) == 1 {
+		sampleRange(0)
+	} else {
+		runErr = o.run(ctx, len(spans), func(i int) error {
+			sampleRange(i)
+			return nil
+		})
+	}
+	var err error
+	errIdx := -1
+	for i := range outs {
+		if outs[i].err != nil && (errIdx < 0 || outs[i].errIdx < errIdx) {
+			err, errIdx = outs[i].err, outs[i].errIdx
+		}
+	}
+	if err == nil {
+		err = runErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	d := measure.New[string]()
+	inc := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		d.Add(keys[i], inc)
+	}
+	return d, nil
+}
