@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-par bench-compare bench-smoke daemon-smoke chaos check clean
+.PHONY: build test race vet bench bench-json bench-par bench-compare bench-smoke daemon-smoke obs-smoke chaos check clean
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ bench:
 # line). Compare two recordings with scripts/bench_compare.sh; see
 # docs/PERFORMANCE.md.
 bench-json:
-	$(GO) run ./cmd/dsebench -json BENCH_4.json
+	$(GO) run ./cmd/dsebench -json BENCH_5.json
 
 # bench-par runs the parallel-vs-sequential kernels at GOMAXPROCS 1 and at
 # the host default: the sharded expansion, the DAG collapse, and the
@@ -32,10 +32,10 @@ bench-par:
 	GOMAXPROCS=1 $(GO) test -bench='Parallel|DAG' -benchtime=1x -run='^$$' .
 	$(GO) test -bench='Parallel|DAG' -benchtime=1x -run='^$$' .
 
-# bench-compare fails when the current recording (BENCH_4.json) regresses
-# more than 20% against the previous PR's baseline (BENCH_3.json).
+# bench-compare fails when the current recording (BENCH_5.json) regresses
+# more than 20% against the previous PR's baseline (BENCH_4.json).
 bench-compare:
-	sh scripts/bench_compare.sh BENCH_3.json BENCH_4.json
+	sh scripts/bench_compare.sh BENCH_4.json BENCH_5.json
 
 # bench-smoke is the short-mode wiring for check: one fast experiment
 # through the -json path, self-compared through bench_compare.sh, so the
@@ -50,6 +50,13 @@ bench-smoke:
 daemon-smoke:
 	sh scripts/daemon_smoke.sh
 
+# obs-smoke drives the telemetry-v2 surface end to end: dsecheck -explain
+# with a JSONL trace (validated against the documented event-kind table),
+# and dsed's /v1/metrics?format=prom (validated by scripts/prom_check.sh)
+# and /v1/debug. See docs/OBSERVABILITY.md.
+obs-smoke:
+	sh scripts/obs_smoke.sh
+
 # chaos runs the fault-injected suite under the race detector: worker
 # panics, transient job faults, cache eviction, slow operations and queue
 # saturation, through both the engine and the daemon's HTTP surface. See
@@ -62,7 +69,7 @@ chaos:
 # packages, the chaos suite, the bench tooling smoke, the parallel-kernel
 # smoke, the baseline comparison, and the daemon end-to-end smoke; run
 # before every commit.
-check: build vet test race chaos bench-smoke bench-par bench-compare daemon-smoke
+check: build vet test race chaos bench-smoke bench-par bench-compare daemon-smoke obs-smoke
 
 clean:
 	$(GO) clean ./...

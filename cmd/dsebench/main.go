@@ -24,6 +24,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/psioa"
 	"repro/internal/resilience"
 )
 
@@ -119,6 +120,42 @@ func emitJSON(path string, tables []*experiments.Table) {
 			exit(1)
 		}
 	}
+	if err := enc.Encode(telemetryLine()); err != nil {
+		fmt.Fprintln(os.Stderr, "dsebench:", err)
+		exit(1)
+	}
+}
+
+// telemetryLine is the trailing process-level run-report line of the -json
+// output: cumulative kernel/cache/memo telemetry across the whole suite.
+// It deliberately has no "elapsed_us" field, so scripts/bench_compare.sh
+// (which keys benchmark rows on "id" + "elapsed_us") skips it.
+func telemetryLine() map[string]any {
+	snap := obs.Default.Snapshot()
+	memo := psioa.SortMemoSnapshot()
+	rr := map[string]any{
+		"cache_hits":      snap.Counters["engine.cache.hits"],
+		"cache_misses":    snap.Counters["engine.cache.misses"],
+		"cache_evictions": snap.Counters["engine.cache.evictions"],
+		"sort_memo":       memo,
+		"pool_tasks":      snap.Counters["engine.pool.tasks"],
+		"pool_busy_max":   snap.Gauges["engine.pool.busy.max"],
+	}
+	if tot := snap.Counters["engine.cache.hits"] + snap.Counters["engine.cache.misses"]; tot > 0 {
+		rr["cache_hit_ratio"] = float64(snap.Counters["engine.cache.hits"]) / float64(tot)
+	}
+	phases := map[string]string{
+		"measure_us":     "sched.measure.us",
+		"measure_par_us": "sched.measure.par.us",
+		"measure_dag_us": "sched.measure.dag.us",
+		"sample_par_us":  "sched.sample.par.us",
+	}
+	for key, hist := range phases {
+		if h, ok := snap.Histograms[hist]; ok && h.Count > 0 {
+			rr[key] = h
+		}
+	}
+	return map[string]any{"id": "telemetry", "run_report": rr}
 }
 
 // exit routes every termination through the observability teardown so the

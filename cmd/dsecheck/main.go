@@ -46,6 +46,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for jobs and the parallel measure kernels (0 = GOMAXPROCS, 1 = sequential)")
 	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "memoization cache entries (0 = default)")
 	verbose := flag.Bool("v", false, "print every (environment, scheduler) pair")
+	explain := flag.Bool("explain", false, "print the per-job run report (work counters, shard balance, cache hit ratio, phase walls)")
 	timeout := flag.Duration("timeout", 0, "abort after this wall-clock time (0 = no limit)")
 	budget := flag.Int64("budget", 0, "kernel transition budget before stopping (0 = unlimited)")
 	ocli.Register(flag.CommandLine)
@@ -83,7 +84,7 @@ func main() {
 	}
 
 	r := engine.NewRunner(engine.NewPool(*workers), engine.NewCache(*cacheSize))
-	rep, err := r.Check(ctx, &engine.CheckSpec{
+	res, err := r.Run(ctx, engine.Job{Kind: engine.KindCheck, Check: &engine.CheckSpec{
 		Left:      *left,
 		Right:     *right,
 		Envs:      envs,
@@ -92,8 +93,9 @@ func main() {
 		Eps:       *eps,
 		Q1:        *q1,
 		Q2:        *q2,
-	})
+	}})
 	fatal(err)
+	rep := res.Check
 
 	fmt.Printf("%s ≤_{%g} %s [schema %s, q1=%d]: %v\n", *left, *eps, *right, schema.Name(), *q1, rep.Holds)
 	fmt.Printf("  pairs checked: %d, measured max distance: %.6g\n", len(rep.Pairs), rep.MaxDist)
@@ -109,6 +111,9 @@ func main() {
 		for _, p := range rep.Failures() {
 			fmt.Printf("  FAIL env=%s sched=%s dist=%.6g\n", p.Env, p.Sched, p.Dist)
 		}
+	}
+	if *explain && res.Report != nil {
+		fmt.Print(res.Report.String())
 	}
 	if !rep.Holds {
 		exit(1)

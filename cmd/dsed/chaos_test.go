@@ -27,6 +27,7 @@ func newHardenedServer(t *testing.T, cfg engine.StoreConfig) *httptest.Server {
 		store:   engine.NewStoreWith(cfg),
 		timeout: 30 * time.Second,
 		ctx:     ctx,
+		started: time.Now(),
 	}
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)

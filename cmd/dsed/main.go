@@ -75,6 +75,7 @@ func main() {
 		timeout: *timeout,
 		budget:  budgetDefaults{states: *budgetStates, transitions: *budgetTrans},
 		ctx:     jobCtx,
+		started: time.Now(),
 	}
 	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
 

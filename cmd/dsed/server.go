@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/psioa"
 	"repro/internal/resilience"
 )
 
@@ -33,6 +35,8 @@ type server struct {
 	// request and run under it. It is separate from the shutdown signal
 	// so main can drain in-flight jobs first and cancel stragglers after.
 	ctx context.Context
+	// started stamps process start for the /v1/debug uptime field.
+	started time.Time
 }
 
 // budgetDefaults carries the daemon-level -budget-* flag values.
@@ -47,7 +51,11 @@ type budgetDefaults struct {
 //	POST /v1/describe   — profile systems (?async=1 to queue)
 //	GET  /v1/jobs       — list submitted jobs
 //	GET  /v1/jobs/{id}  — fetch one job record
-//	GET  /v1/metrics    — obs metrics snapshot (counters, gauges, histograms)
+//	GET  /v1/metrics    — obs metrics snapshot (JSON; ?format=prom for
+//	                      Prometheus text exposition format 0.0.4)
+//	GET  /v1/debug      — live introspection: uptime, pool occupancy,
+//	                      in-flight jobs with elapsed time, breaker states,
+//	                      cache shard occupancy, sort-memo stats
 //	GET  /healthz       — liveness probe
 //
 // Job routes accept query overrides: ?timeout_ms=, ?budget_states=,
@@ -78,15 +86,96 @@ func (s *server) handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		cHTTPRequests.Inc()
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", obs.PromContentType)
+			w.WriteHeader(http.StatusOK)
+			obs.Default.Snapshot().WriteProm(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		w.Write(obs.Default.Snapshot().JSON())
+	})
+	mux.HandleFunc("GET /v1/debug", func(w http.ResponseWriter, r *http.Request) {
+		cHTTPRequests.Inc()
+		writeJSON(w, http.StatusOK, s.debugInfo())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
 	return recovered(mux)
+}
+
+// debugState is the GET /v1/debug response: a live snapshot of the
+// daemon's moving parts for operators diagnosing a stuck or overloaded
+// instance.
+type debugState struct {
+	UptimeMS   int64 `json:"uptime_ms"`
+	Goroutines int   `json:"goroutines"`
+	// Pool occupancy: Busy of Workers tasks running right now.
+	Workers int `json:"workers"`
+	Busy    int `json:"busy"`
+	// Queue: async jobs queued or running, against the shed limit
+	// (0 = unbounded).
+	InFlight   int `json:"inflight"`
+	QueueLimit int `json:"queue_limit"`
+	// Jobs are the non-terminal job records with elapsed wall time.
+	Jobs []debugJob `json:"jobs"`
+	// Breakers lists per-fingerprint breaker states (open or counting).
+	Breakers []resilience.BreakerState `json:"breakers"`
+	// Cache is the memoization cache: total occupancy plus per-shard
+	// occupancy and contention counters.
+	CacheLen    int                     `json:"cache_len"`
+	CacheShards []engine.CacheShardStat `json:"cache_shards"`
+	// SortMemo is the psioa canonical-sort memo.
+	SortMemo psioa.SortMemoStats `json:"sort_memo"`
+}
+
+// debugJob is one queued or running job in the /v1/debug view.
+type debugJob struct {
+	ID        string `json:"id"`
+	Kind      string `json:"kind"`
+	Status    string `json:"status"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+// debugInfo assembles the /v1/debug snapshot. The pieces are sampled
+// independently (pool, store, cache), so the snapshot is not a consistent
+// cut — fine for introspection.
+func (s *server) debugInfo() debugState {
+	d := debugState{
+		UptimeMS:    time.Since(s.started).Milliseconds(),
+		Goroutines:  runtime.NumGoroutine(),
+		Workers:     s.runner.Pool.Workers(),
+		Busy:        s.runner.Pool.Busy(),
+		InFlight:    s.store.InFlight(),
+		QueueLimit:  s.store.QueueLimit(),
+		Jobs:        []debugJob{},
+		Breakers:    s.store.Breaker().Snapshot(),
+		CacheShards: s.runner.Cache.ShardStats(),
+		SortMemo:    psioa.SortMemoSnapshot(),
+	}
+	now := time.Now()
+	for _, rec := range s.store.List() {
+		if rec.Status != engine.StatusQueued && rec.Status != engine.StatusRunning {
+			continue
+		}
+		since := rec.Started
+		if since.IsZero() {
+			since = rec.Submitted
+		}
+		d.Jobs = append(d.Jobs, debugJob{
+			ID:        rec.ID,
+			Kind:      rec.Kind,
+			Status:    rec.Status,
+			ElapsedMS: now.Sub(since).Milliseconds(),
+		})
+	}
+	for _, sh := range d.CacheShards {
+		d.CacheLen += sh.Len
+	}
+	return d
 }
 
 // recovered is the last-resort panic boundary of the HTTP layer.

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/insight"
 	"repro/internal/measure"
@@ -70,12 +71,45 @@ type Cache struct {
 // cacheShard is one mutex-striped LRU unit. Keys map to shards by fnv-1a
 // hash, which is stable across runs, so a fixed operation sequence always
 // touches the same shards in the same order and per-shard LRU eviction
-// order is deterministic.
+// order is deterministic. Per-shard hit/miss/eviction counters (same cost
+// class as the aggregate counters: one atomic add alongside each) expose
+// stripe skew; lockWaitUS accumulates mutex acquisition wait and is
+// collected only while tracing is enabled, so the default path pays no
+// clock reads.
 type cacheShard struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	mu         sync.Mutex
+	cap        int
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
+	lockWaitUS atomic.Int64
+}
+
+// lock acquires the shard mutex, timing the wait when tracing is enabled.
+func (sh *cacheShard) lock() {
+	if !obs.Active().Enabled() {
+		sh.mu.Lock()
+		return
+	}
+	t0 := time.Now()
+	sh.mu.Lock()
+	if w := time.Since(t0).Microseconds(); w > 0 {
+		sh.lockWaitUS.Add(w)
+	}
+}
+
+// CacheShardStat is a point-in-time view of one cache stripe: occupancy
+// plus cumulative traffic and contention counters.
+type CacheShardStat struct {
+	Shard      int   `json:"shard"`
+	Len        int   `json:"len"`
+	Cap        int   `json:"cap"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+	LockWaitUS int64 `json:"lock_wait_us,omitempty"`
 }
 
 type centry struct {
@@ -151,11 +185,12 @@ func (c *Cache) Len() int {
 // dropped and reported as a miss, forcing recomputation downstream.
 func (c *Cache) Get(key string) (any, bool) {
 	sh := c.shard(key)
-	sh.mu.Lock()
+	sh.lock()
 	defer sh.mu.Unlock()
 	el, ok := sh.items[key]
 	if !ok {
 		cCacheMisses.Inc()
+		sh.misses.Add(1)
 		return nil, false
 	}
 	if resilience.Fire(resilience.FaultCacheEvict) {
@@ -164,9 +199,12 @@ func (c *Cache) Get(key string) (any, bool) {
 		gCacheSize.Set(c.size.Add(-1))
 		cCacheEvictions.Inc()
 		cCacheMisses.Inc()
+		sh.evictions.Add(1)
+		sh.misses.Add(1)
 		return nil, false
 	}
 	cCacheHits.Inc()
+	sh.hits.Add(1)
 	sh.ll.MoveToFront(el)
 	return el.Value.(*centry).val, true
 }
@@ -176,7 +214,7 @@ func (c *Cache) Get(key string) (any, bool) {
 // shared across shards.
 func (c *Cache) Put(key string, v any) {
 	sh := c.shard(key)
-	sh.mu.Lock()
+	sh.lock()
 	defer sh.mu.Unlock()
 	if el, ok := sh.items[key]; ok {
 		el.Value.(*centry).val = v
@@ -190,9 +228,52 @@ func (c *Cache) Put(key string, v any) {
 		sh.ll.Remove(back)
 		delete(sh.items, back.Value.(*centry).key)
 		cCacheEvictions.Inc()
+		sh.evictions.Add(1)
 		n--
 	}
 	gCacheSize.Set(c.size.Add(n))
+}
+
+// ShardStats returns a per-stripe snapshot: occupancy under each shard's
+// lock, counters atomically. Ordered by shard index; nil cache → nil.
+func (c *Cache) ShardStats() []CacheShardStat {
+	if c == nil {
+		return nil
+	}
+	out := make([]CacheShardStat, len(c.shards))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n := len(sh.items)
+		sh.mu.Unlock()
+		out[i] = CacheShardStat{
+			Shard:      i,
+			Len:        n,
+			Cap:        sh.cap,
+			Hits:       sh.hits.Load(),
+			Misses:     sh.misses.Load(),
+			Evictions:  sh.evictions.Load(),
+			LockWaitUS: sh.lockWaitUS.Load(),
+		}
+	}
+	return out
+}
+
+// Totals sums the per-shard counters — the cache-local analogue of the
+// process-wide engine.cache.* metrics, used to delta cache traffic around
+// one job for its run report.
+func (c *Cache) Totals() (hits, misses, evictions, lockWaitUS int64) {
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		hits += sh.hits.Load()
+		misses += sh.misses.Load()
+		evictions += sh.evictions.Load()
+		lockWaitUS += sh.lockWaitUS.Load()
+	}
+	return hits, misses, evictions, lockWaitUS
 }
 
 // Fingerprint returns the canonical fingerprint of a, memoized by identity

@@ -144,11 +144,13 @@ type DescribeResult struct {
 }
 
 // Result is the outcome of a job; the field matching the job's Kind is set.
+// Report is the job's telemetry account (always attached by Run).
 type Result struct {
 	Kind     string          `json:"kind"`
 	Check    *core.Report    `json:"check,omitempty"`
 	Simulate *SimulateResult `json:"simulate,omitempty"`
 	Describe *DescribeResult `json:"describe,omitempty"`
+	Report   *obs.RunReport  `json:"run_report,omitempty"`
 }
 
 // Observability instruments for the runner.
@@ -191,9 +193,9 @@ func (r *Runner) resolveAll(refs []string) ([]psioa.PSIOA, error) {
 }
 
 // options assembles core.Options wired to the runner's pool, cache and the
-// job's budget.
-func (r *Runner) options(ctx context.Context, b *resilience.Budget) core.Options {
-	opt := core.Options{Ctx: ctx, Budget: b, Kernel: r.kernelOpts()}
+// job's budget, collecting kernel telemetry into st when non-nil.
+func (r *Runner) options(ctx context.Context, b *resilience.Budget, st *sched.Stats) core.Options {
+	opt := core.Options{Ctx: ctx, Budget: b, Kernel: r.kernelOpts(st)}
 	if r.Pool != nil {
 		opt.Exec = r.Pool
 	}
@@ -207,12 +209,13 @@ func (r *Runner) options(ctx context.Context, b *resilience.Budget) core.Options
 // worker count only, never the pool handle itself — check jobs already run
 // per-pair tasks on the pool, and a kernel fanning its frontier shards back
 // onto the same semaphore from inside one of those tasks would deadlock.
-// The kernels spawn private bounded goroutines instead.
-func (r *Runner) kernelOpts() sched.Options {
+// The kernels spawn private bounded goroutines instead. st (may be nil)
+// threads the job's telemetry collector into every kernel call.
+func (r *Runner) kernelOpts(st *sched.Stats) sched.Options {
 	if r.Pool == nil {
-		return sched.Options{}
+		return sched.Options{Stats: st}
 	}
-	return sched.Options{Workers: r.Pool.Workers()}
+	return sched.Options{Workers: r.Pool.Workers(), Stats: st}
 }
 
 // budget materialises the job's work budget; nil when the job sets none.
@@ -236,12 +239,88 @@ func (r *Runner) Run(ctx context.Context, job Job) (*Result, error) {
 		defer cancel()
 	}
 	cJobsRun.Inc()
-	res, err := r.dispatch(ctx, job)
+	start := time.Now()
+	st := &sched.Stats{}
+	bud := job.budget()
+	if bud == nil {
+		// Metering without enforcement: checkpoints created with a nil
+		// budget fall back to the process default budget, so substitute
+		// that when one is installed (its limits must stay enforced), and
+		// an always-passing NewBudget(0,0,0) otherwise — it never trips
+		// but still tallies the job's states and transitions for the run
+		// report.
+		if bud = resilience.DefaultBudget(); bud == nil {
+			bud = resilience.NewBudget(0, 0, 0)
+		}
+	}
+	states0, trans0 := bud.Used()
+	hits0, miss0, evict0, lock0 := r.Cache.Totals()
+	memo0 := psioa.SortMemoSnapshot()
+	res, err := r.dispatch(ctx, job, bud, st)
 	if err != nil {
 		err = resilience.WrapCtx(err)
 		cJobsFailed.Inc()
 	}
+	if res != nil {
+		states1, trans1 := bud.Used()
+		hits1, miss1, evict1, lock1 := r.Cache.Totals()
+		memo1 := psioa.SortMemoSnapshot()
+		rep := &obs.RunReport{
+			Kind:              job.Kind,
+			WallUS:            time.Since(start).Microseconds(),
+			States:            states1 - states0,
+			Transitions:       trans1 - trans0,
+			DepthReached:      st.DepthReached(),
+			CacheHits:         hits1 - hits0,
+			CacheMisses:       miss1 - miss0,
+			CacheEvictions:    evict1 - evict0,
+			CacheLockWaitUS:   lock1 - lock0,
+			SortMemoHits:      memo1.Hits - memo0.Hits,
+			SortMemoMisses:    memo1.Misses - memo0.Misses,
+			SortMemoResets:    memo1.Resets - memo0.Resets,
+			SortMemoEntries:   int64(memo1.Entries),
+			BudgetStates:      job.BudgetStates,
+			BudgetTransitions: job.BudgetTransitions,
+			Workers:           r.Pool.Workers(),
+			Levels:            st.Levels(),
+			Shards:            st.Shards(),
+			Phases:            st.Phases(),
+		}
+		rep.ShardImbalance = obs.Imbalance(rep.Shards)
+		for _, s := range rep.Shards {
+			rep.BarrierWaitUS += s.BarrierWaitUS
+		}
+		if tot := rep.CacheHits + rep.CacheMisses; tot > 0 {
+			rep.CacheHitRatio = float64(rep.CacheHits) / float64(tot)
+		}
+		phaseQuantiles(rep.Phases)
+		res.Report = rep
+	}
 	return res, err
+}
+
+// phaseQuantiles fills each phase row's wall quantiles from the matching
+// duration histogram of the default registry. The histograms are
+// process-cumulative (per-call durations across the process lifetime), so
+// the quantiles characterise the kernel family, not this job alone.
+func phaseQuantiles(phases []obs.PhaseStat) {
+	for i := range phases {
+		var names []string
+		switch phases[i].Name {
+		case "sched.measure":
+			names = []string{"sched.measure.par.us", "sched.measure.us"}
+		case "sched.sample":
+			names = []string{"sched.sample.par.us"}
+		case "sched.measure.dag":
+			names = []string{"sched.measure.dag.us"}
+		}
+		for _, n := range names {
+			if s := obs.H(n).Snapshot(); s.Count > 0 {
+				phases[i].P50US, phases[i].P95US, phases[i].P99US = s.P50, s.P95, s.P99
+				break
+			}
+		}
+	}
 }
 
 // RunSafe is Run behind a panic isolation boundary: a panicking job
@@ -252,17 +331,16 @@ func (r *Runner) RunSafe(ctx context.Context, job Job) (res *Result, err error) 
 	return r.Run(ctx, job)
 }
 
-func (r *Runner) dispatch(ctx context.Context, job Job) (*Result, error) {
+func (r *Runner) dispatch(ctx context.Context, job Job, bud *resilience.Budget, st *sched.Stats) (*Result, error) {
 	if err := resilience.FireErr(resilience.FaultJobTransient); err != nil {
 		return nil, err
 	}
-	bud := job.budget()
 	switch job.Kind {
 	case KindCheck:
 		if job.Check == nil {
 			return nil, fmt.Errorf("engine: check job without check spec")
 		}
-		rep, err := r.check(ctx, job.Check, bud)
+		rep, err := r.check(ctx, job.Check, bud, st)
 		if err != nil {
 			return nil, err
 		}
@@ -271,7 +349,7 @@ func (r *Runner) dispatch(ctx context.Context, job Job) (*Result, error) {
 		if job.Simulate == nil {
 			return nil, fmt.Errorf("engine: simulate job without simulate spec")
 		}
-		sr, err := r.simulate(ctx, job.Simulate, bud)
+		sr, err := r.simulate(ctx, job.Simulate, bud, st)
 		if err != nil {
 			return nil, err
 		}
@@ -293,10 +371,10 @@ func (r *Runner) dispatch(ctx context.Context, job Job) (*Result, error) {
 // Check resolves the spec and runs core.Implements on the runner's pool and
 // cache. The report is identical to a sequential, uncached run.
 func (r *Runner) Check(ctx context.Context, cs *CheckSpec) (*core.Report, error) {
-	return r.check(ctx, cs, nil)
+	return r.check(ctx, cs, nil, nil)
 }
 
-func (r *Runner) check(ctx context.Context, cs *CheckSpec, bud *resilience.Budget) (*core.Report, error) {
+func (r *Runner) check(ctx context.Context, cs *CheckSpec, bud *resilience.Budget, st *sched.Stats) (*core.Report, error) {
 	if cs.Left == "" || cs.Right == "" || len(cs.Envs) == 0 {
 		return nil, fmt.Errorf("engine: check needs left, right and at least one env")
 	}
@@ -320,7 +398,7 @@ func (r *Runner) check(ctx context.Context, cs *CheckSpec, bud *resilience.Budge
 	if err != nil {
 		return nil, err
 	}
-	opt := r.options(ctx, bud)
+	opt := r.options(ctx, bud, st)
 	opt.Envs = envs
 	opt.Schema = schema
 	opt.Insight = ins
@@ -336,10 +414,10 @@ func (r *Runner) check(ctx context.Context, cs *CheckSpec, bud *resilience.Budge
 // Monte-Carlo estimate when Samples > 0), reusing cached measures for
 // repeated exact requests.
 func (r *Runner) Simulate(ctx context.Context, ss *SimulateSpec) (*SimulateResult, error) {
-	return r.simulate(ctx, ss, nil)
+	return r.simulate(ctx, ss, nil, nil)
 }
 
-func (r *Runner) simulate(ctx context.Context, ss *SimulateSpec, bud *resilience.Budget) (*SimulateResult, error) {
+func (r *Runner) simulate(ctx context.Context, ss *SimulateSpec, bud *resilience.Budget, st *sched.Stats) (*SimulateResult, error) {
 	if len(ss.Systems) == 0 {
 		return nil, fmt.Errorf("engine: simulate needs at least one system")
 	}
@@ -375,7 +453,7 @@ func (r *Runner) simulate(ctx context.Context, ss *SimulateSpec, bud *resilience
 		stream := rng.New(ss.Seed)
 		d, err := sched.SampleImageOpts(ctx, w, s, stream, depth, ss.Samples, func(fr *psioa.Frag) string {
 			return ins.Apply(w, fr)
-		}, bud, r.kernelOpts())
+		}, bud, r.kernelOpts(st))
 		if err != nil {
 			return nil, err
 		}
@@ -387,7 +465,7 @@ func (r *Runner) simulate(ctx context.Context, ss *SimulateSpec, bud *resilience
 			Outcomes:   outcomes(d),
 		}, nil
 	}
-	em, err := r.Cache.MeasureOpts(ctx, w, s, depth, bud, r.kernelOpts())
+	em, err := r.Cache.MeasureOpts(ctx, w, s, depth, bud, r.kernelOpts(st))
 	if err != nil {
 		// Graceful degradation: a budget-bounded stop leaves an exact
 		// sub-probability prefix of ε_σ, which is a usable answer for a
@@ -410,7 +488,7 @@ func (r *Runner) simulate(ctx context.Context, ss *SimulateSpec, bud *resilience
 			Degraded:   err.Error(),
 		}, nil
 	}
-	img, err := r.Cache.FDistOpts(ctx, w, s, ins, depth, bud, r.kernelOpts())
+	img, err := r.Cache.FDistOpts(ctx, w, s, ins, depth, bud, r.kernelOpts(st))
 	if err != nil {
 		return nil, err
 	}

@@ -73,6 +73,18 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// Busy returns the number of tasks currently running on the pool — a live
+// instantaneous view (the engine.pool.busy.max gauge keeps the high-water
+// mark).
+func (p *Pool) Busy() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.busy
+}
+
 // Map runs fn(0..n-1), at most Workers() at a time, and waits for all
 // launched tasks. The error returned is that of the lowest-index failing
 // task — the same error a sequential in-order run would return — or the

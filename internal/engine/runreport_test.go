@@ -1,0 +1,119 @@
+package engine_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/psioa"
+)
+
+// runCheckReport runs the coin check job on a fresh runner (fresh cache,
+// reset sort memo) and returns its run report.
+func runCheckReport(t *testing.T) *obs.RunReport {
+	t.Helper()
+	psioa.ResetSortMemo()
+	r := engine.NewRunner(engine.NewPool(4), engine.NewCache(0))
+	res, err := r.Run(context.Background(), engine.Job{Kind: engine.KindCheck, Check: coinCheck()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report == nil {
+		t.Fatal("Run attached no report")
+	}
+	return res.Report
+}
+
+// stripTiming zeroes every wall-clock-derived field so two reports of
+// identical runs can be compared for the deterministic remainder.
+func stripTiming(r *obs.RunReport) *obs.RunReport {
+	c := *r
+	c.WallUS, c.BarrierWaitUS, c.CacheLockWaitUS = 0, 0, 0
+	c.Shards = append([]obs.ShardStat(nil), c.Shards...)
+	for i := range c.Shards {
+		c.Shards[i].WallUS, c.Shards[i].BarrierWaitUS = 0, 0
+	}
+	c.Phases = append([]obs.PhaseStat(nil), c.Phases...)
+	for i := range c.Phases {
+		c.Phases[i].WallUS = 0
+		// Quantiles come from process-cumulative histograms and shift as
+		// other tests observe into them.
+		c.Phases[i].P50US, c.Phases[i].P95US, c.Phases[i].P99US = 0, 0, 0
+	}
+	return &c
+}
+
+// TestRunReportDeterministic runs the same job twice on identical fresh
+// state: everything in the two reports except the timing fields must match
+// exactly — the work account is a function of the workload, not the
+// schedule.
+func TestRunReportDeterministic(t *testing.T) {
+	a := stripTiming(runCheckReport(t))
+	b := stripTiming(runCheckReport(t))
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("non-timing report fields differ between identical runs:\n a: %+v\n b: %+v", a, b)
+	}
+}
+
+// TestRunReportAccounts sanity-checks the report of a real check job:
+// work was metered, the kernels were observed, and the derived statistics
+// are consistent with their parts.
+func TestRunReportAccounts(t *testing.T) {
+	psioa.ResetSortMemo()
+	r := engine.NewRunner(engine.NewPool(4), engine.NewCache(0))
+	job := engine.Job{Kind: engine.KindCheck, Check: coinCheck()}
+	cold, err := r.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := r.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := cold.Report
+	if rep.Kind != engine.KindCheck {
+		t.Errorf("kind = %q, want %q", rep.Kind, engine.KindCheck)
+	}
+	if rep.States == 0 && rep.Transitions == 0 {
+		t.Error("no states or transitions metered — budget substitution broken")
+	}
+	if rep.CacheMisses == 0 {
+		t.Error("cold run recorded no cache misses")
+	}
+	if warm.Report.CacheHits == 0 {
+		t.Error("warm re-run recorded no cache hits")
+	}
+	if tot := rep.CacheHits + rep.CacheMisses; tot > 0 {
+		want := float64(rep.CacheHits) / float64(tot)
+		if rep.CacheHitRatio != want {
+			t.Errorf("cache hit ratio = %v, want %v", rep.CacheHitRatio, want)
+		}
+	}
+	if rep.Workers != 4 {
+		t.Errorf("workers = %d, want 4", rep.Workers)
+	}
+	if got, want := rep.ShardImbalance, obs.Imbalance(rep.Shards); got != want {
+		t.Errorf("shard imbalance = %v, want %v", got, want)
+	}
+	if rep.String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+// TestRunReportOnSyncAndError checks the report rides along even without a
+// budget and is absent when the job fails before producing a result.
+func TestRunReportOnSyncAndError(t *testing.T) {
+	r := engine.NewRunner(nil, nil)
+	res, err := r.Run(context.Background(), engine.Job{Kind: engine.KindCheck, Check: coinCheck()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report == nil || res.Report.States == 0 {
+		t.Errorf("nil-pool run report = %+v, want metered states", res.Report)
+	}
+	if _, err := r.Run(context.Background(), engine.Job{Kind: "bogus"}); err == nil {
+		t.Error("bogus job kind did not fail")
+	}
+}

@@ -95,6 +95,9 @@ func NewStoreWith(cfg StoreConfig) *Store {
 // the synchronous request path can share its quarantine state.
 func (st *Store) Breaker() *resilience.Breaker { return st.cfg.Breaker }
 
+// QueueLimit returns the configured shed threshold (0 = unbounded).
+func (st *Store) QueueLimit() int { return st.cfg.QueueLimit }
+
 // InFlight returns the number of async jobs queued or running.
 func (st *Store) InFlight() int {
 	st.mu.Lock()

@@ -1025,6 +1025,7 @@ func Runners() (ids []string, byID map[string]func() (*Table, error)) {
 		{"E16", E16SchedulingRole}, {"E17", E17SamplingConvergence},
 		{"E18", E18EngineEquivalence},
 		{"E19", E19ParallelMeasure}, {"E20", E20DAGCollapse},
+		{"E21", E21ShardTelemetry},
 	}
 	byID = make(map[string]func() (*Table, error), len(entries))
 	for _, e := range entries {

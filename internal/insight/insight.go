@@ -165,7 +165,7 @@ func FDistOpts(ctx context.Context, w psioa.PSIOA, s sched.Scheduler, f Insight,
 	defer obs.Time("insight.fdist.us")()
 	if f.StateLocal != nil {
 		if dob, ok := sched.AsDepthOblivious(s); ok {
-			dm, err := sched.MeasureDAG(ctx, w, dob, maxDepth, b)
+			dm, err := sched.MeasureDAGOpts(ctx, w, dob, maxDepth, b, o)
 			if err != nil {
 				return nil, err
 			}

@@ -91,11 +91,15 @@ type HistSnapshot struct {
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
 	Mean  float64 `json:"mean"`
-	// P50 and P95 are bucket-resolution quantile estimates (upper bucket
-	// bounds), adequate for order-of-magnitude profiling.
+	// P50, P95 and P99 are bucket-resolution quantile estimates (upper
+	// bucket bounds), adequate for order-of-magnitude profiling.
 	P50 float64 `json:"p50"`
 	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 }
+
+// Snapshot returns a point-in-time summary of the histogram.
+func (h *Histogram) Snapshot() HistSnapshot { return h.snapshot() }
 
 func (h *Histogram) snapshot() HistSnapshot {
 	h.mu.Lock()
@@ -105,6 +109,7 @@ func (h *Histogram) snapshot() HistSnapshot {
 		s.Mean = h.sum / float64(h.count)
 		s.P50 = h.quantileLocked(0.50)
 		s.P95 = h.quantileLocked(0.95)
+		s.P99 = h.quantileLocked(0.99)
 	}
 	return s
 }
@@ -283,8 +288,8 @@ func (s Snapshot) String() string {
 	sort.Strings(names)
 	for _, n := range names {
 		h := s.Histograms[n]
-		fmt.Fprintf(&b, "hist     %-36s n=%d mean=%.3g p50≤%.3g p95≤%.3g max=%.3g\n",
-			n, h.Count, h.Mean, h.P50, h.P95, h.Max)
+		fmt.Fprintf(&b, "hist     %-36s n=%d mean=%.3g p50≤%.3g p95≤%.3g p99≤%.3g max=%.3g\n",
+			n, h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
 	}
 	return b.String()
 }

@@ -55,6 +55,10 @@ const (
 	KindEmuRound Kind = "emulation.round"
 	// KindExperiment is one completed experiment of the E1..E17 suite.
 	KindExperiment Kind = "experiment"
+	// KindShard is one shard of one level of a parallel kernel (Name =
+	// scheduler, Attr = "L<level>.S<shard>", N = items expanded, Dur =
+	// shard wall μs, Parent = the kernel span id).
+	KindShard Kind = "sched.shard"
 )
 
 // Event is one structured trace record. The zero value of every optional
@@ -75,6 +79,9 @@ type Event struct {
 	V float64 `json:"v,omitempty"`
 	// Span correlates span.begin/span.end pairs.
 	Span int64 `json:"span,omitempty"`
+	// Parent is the id of the enclosing span (span.begin and events that
+	// attribute themselves to a span); zero means a root span / no parent.
+	Parent int64 `json:"parent,omitempty"`
 	// Dur is the span duration in microseconds (span.end only).
 	Dur int64 `json:"dur_us,omitempty"`
 }
@@ -127,27 +134,41 @@ var spanIDs atomic.Int64
 // tracing is disabled) is valid and End on it is a no-op, so callers can
 // write `defer obs.Begin(...).End()` unconditionally.
 type Span struct {
-	tr    Tracer
-	id    int64
-	name  string
-	start time.Time
+	tr     Tracer
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
 }
 
-// Begin opens a span when tracing is enabled and returns its handle.
+// Begin opens a root span when tracing is enabled and returns its handle.
 func Begin(name, attr string) Span {
+	return Span{}.Begin(name, attr)
+}
+
+// Begin opens a child span of s: the begin event carries s's id as Parent,
+// so a SpanTree reconstructor can rebuild the call hierarchy from the
+// trace. The zero Span is a valid parent (the child becomes a root), which
+// keeps the disabled path allocation-free: when tracing is off every span
+// is the zero Span and opening children off it costs one branch.
+func (s Span) Begin(name, attr string) Span {
 	tr := Active()
 	if !tr.Enabled() {
 		return Span{}
 	}
 	id := spanIDs.Add(1)
-	tr.Emit(Event{Kind: KindSpanBegin, Name: name, Attr: attr, Span: id})
-	return Span{tr: tr, id: id, name: name, start: time.Now()}
+	tr.Emit(Event{Kind: KindSpanBegin, Name: name, Attr: attr, Span: id, Parent: s.id})
+	return Span{tr: tr, id: id, parent: s.id, name: name, start: time.Now()}
 }
+
+// ID returns the span's correlation id (zero for the zero Span). Events
+// emitted with Parent set to this id attribute themselves to the span.
+func (s Span) ID() int64 { return s.id }
 
 // End closes the span, emitting its duration. No-op on the zero Span.
 func (s Span) End() {
 	if s.tr == nil {
 		return
 	}
-	s.tr.Emit(Event{Kind: KindSpanEnd, Name: s.name, Span: s.id, Dur: time.Since(s.start).Microseconds()})
+	s.tr.Emit(Event{Kind: KindSpanEnd, Name: s.name, Span: s.id, Parent: s.parent, Dur: time.Since(s.start).Microseconds()})
 }

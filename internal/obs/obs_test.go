@@ -14,8 +14,8 @@ import (
 
 // TestNopHotPathAllocFree verifies the core contract of the no-op tracer:
 // an instrumented hot path — fetch the active tracer, check Enabled, bump
-// a counter, open and close a span — allocates nothing when tracing is
-// disabled.
+// a counter, open and close a span, open and close a child span — allocates
+// nothing when tracing is disabled.
 func TestNopHotPathAllocFree(t *testing.T) {
 	prev := obs.SetTracer(nil) // ensure the no-op tracer
 	defer obs.SetTracer(prev)
@@ -26,7 +26,9 @@ func TestNopHotPathAllocFree(t *testing.T) {
 			tr.Emit(obs.Event{Kind: obs.KindSchedStep, Name: "x"})
 		}
 		c.Inc()
-		obs.Begin("obs.test.span", "attr").End()
+		sp := obs.Begin("obs.test.span", "attr")
+		sp.Begin("obs.test.child", "attr").End()
+		sp.End()
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled hot path allocates %v times per run, want 0", allocs)

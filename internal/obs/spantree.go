@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SpanNode is one reconstructed span of a trace: its identity, its timing,
+// and its children ordered by begin time. Ended is false for spans whose
+// end event is missing from the trace (the run was cut short or the trace
+// truncated); their Dur is zero.
+type SpanNode struct {
+	ID       int64
+	Parent   int64
+	Name     string
+	Attr     string
+	StartUS  int64
+	DurUS    int64
+	Ended    bool
+	Children []*SpanNode
+	// Leaves counts non-span events attributed to this span via
+	// Event.Parent (e.g. sched.shard records).
+	Leaves int
+}
+
+// SpanTree is the hierarchy reconstructed from a trace's span.begin /
+// span.end events by BuildSpanTree.
+type SpanTree struct {
+	Roots []*SpanNode
+	// byID indexes every node for Find.
+	byID map[int64]*SpanNode
+}
+
+// BuildSpanTree reconstructs the span hierarchy of a trace: begin events
+// create nodes, end events stamp durations, and Parent ids link children
+// under their enclosing span. The reconstruction is tolerant of real
+// traces: spans interleaved across goroutines correlate by id rather than
+// by nesting order, a child whose parent id never appears in the trace
+// becomes a root (orphan), and an end without a begin synthesises its
+// node. Non-span events carrying a Parent id count into that span's
+// Leaves. Siblings sort by begin timestamp, ties by id (ids are issued
+// monotonically, so this is emission order).
+func BuildSpanTree(events []Event) *SpanTree {
+	t := &SpanTree{byID: make(map[int64]*SpanNode)}
+	node := func(id int64) *SpanNode {
+		n := t.byID[id]
+		if n == nil {
+			n = &SpanNode{ID: id}
+			t.byID[id] = n
+		}
+		return n
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindSpanBegin:
+			n := node(e.Span)
+			n.Name, n.Attr, n.Parent, n.StartUS = e.Name, e.Attr, e.Parent, e.T
+		case KindSpanEnd:
+			n := node(e.Span)
+			if n.Name == "" {
+				n.Name = e.Name
+			}
+			if n.Parent == 0 {
+				n.Parent = e.Parent
+			}
+			n.DurUS, n.Ended = e.Dur, true
+		default:
+			if e.Parent != 0 {
+				node(e.Parent).Leaves++
+			}
+		}
+	}
+	for _, n := range t.byID {
+		if p, ok := t.byID[n.Parent]; ok && n.Parent != 0 && n.Parent != n.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			t.Roots = append(t.Roots, n)
+		}
+	}
+	order := func(ns []*SpanNode) {
+		sort.Slice(ns, func(i, j int) bool {
+			if ns[i].StartUS != ns[j].StartUS {
+				return ns[i].StartUS < ns[j].StartUS
+			}
+			return ns[i].ID < ns[j].ID
+		})
+	}
+	order(t.Roots)
+	for _, n := range t.byID {
+		order(n.Children)
+	}
+	return t
+}
+
+// Find returns the reconstructed span with the given id, or nil.
+func (t *SpanTree) Find(id int64) *SpanNode { return t.byID[id] }
+
+// Len returns the number of reconstructed spans.
+func (t *SpanTree) Len() int { return len(t.byID) }
+
+// Render returns an indented text view of the tree, one span per line:
+//
+//	core.implements (seq vs seq')            12.3ms
+//	  sched.measure.par (random[13])          4.1ms  leaves=16
+func (t *SpanTree) Render() string {
+	var b strings.Builder
+	var walk func(n *SpanNode, depth int)
+	walk = func(n *SpanNode, depth int) {
+		fmt.Fprintf(&b, "%s%s", strings.Repeat("  ", depth), n.Name)
+		if n.Attr != "" {
+			fmt.Fprintf(&b, " (%s)", n.Attr)
+		}
+		if n.Ended {
+			fmt.Fprintf(&b, "  %s", usDur(n.DurUS))
+		} else {
+			b.WriteString("  [unended]")
+		}
+		if n.Leaves > 0 {
+			fmt.Fprintf(&b, "  leaves=%d", n.Leaves)
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r, 0)
+	}
+	return b.String()
+}

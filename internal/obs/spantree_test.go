@@ -1,0 +1,137 @@
+package obs_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSpanTreeNested reconstructs a simple nested hierarchy from a
+// recorded trace and checks parentage, ordering and leaf attribution.
+func TestSpanTreeNested(t *testing.T) {
+	rec := obs.NewRecorder()
+	prev := obs.SetTracer(rec)
+	root := obs.Begin("core.implements", "a vs b")
+	kid1 := root.Begin("sched.measure.par", "greedy")
+	rec.Emit(obs.Event{Kind: obs.KindShard, Name: "greedy", Attr: "L0.S0", N: 5, Parent: kid1.ID()})
+	rec.Emit(obs.Event{Kind: obs.KindShard, Name: "greedy", Attr: "L0.S1", N: 7, Parent: kid1.ID()})
+	kid1.End()
+	kid2 := root.Begin("sched.measure.par", "random")
+	kid2.End()
+	root.End()
+	obs.SetTracer(prev)
+
+	tree := obs.BuildSpanTree(rec.Events())
+	if tree.Len() != 3 {
+		t.Fatalf("tree has %d spans, want 3", tree.Len())
+	}
+	if len(tree.Roots) != 1 {
+		t.Fatalf("tree has %d roots, want 1", len(tree.Roots))
+	}
+	r := tree.Roots[0]
+	if r.Name != "core.implements" || !r.Ended {
+		t.Errorf("root = %q ended=%v, want core.implements ended", r.Name, r.Ended)
+	}
+	if len(r.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(r.Children))
+	}
+	if r.Children[0].Attr != "greedy" || r.Children[1].Attr != "random" {
+		t.Errorf("children out of begin order: %q, %q", r.Children[0].Attr, r.Children[1].Attr)
+	}
+	if r.Children[0].Leaves != 2 {
+		t.Errorf("first child has %d leaves, want 2 shard records", r.Children[0].Leaves)
+	}
+	out := tree.Render()
+	for _, frag := range []string{"core.implements", "  sched.measure.par (greedy)", "leaves=2"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestSpanTreeAcrossGoroutinesJSONL is the end-to-end correlation check:
+// several goroutines emit interleaved span families through one JSONL
+// tracer, and after a round trip through the encoded trace the tree must
+// reassemble every family intact — children under the right parent no
+// matter how the lines interleaved.
+func TestSpanTreeAcrossGoroutinesJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	j := obs.NewJSONL(&buf)
+	prev := obs.SetTracer(j)
+	const workers, tasks = 4, 3
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			root := obs.Begin("worker", fmt.Sprintf("g%d", g))
+			for i := 0; i < tasks; i++ {
+				child := root.Begin("task", fmt.Sprintf("g%d.t%d", g, i))
+				obs.Active().Emit(obs.Event{Kind: obs.KindSchedStep, Name: "step", Parent: child.ID()})
+				child.End()
+			}
+			root.End()
+		}(g)
+	}
+	wg.Wait()
+	obs.SetTracer(prev)
+	if err := j.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	events, err := obs.ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	tree := obs.BuildSpanTree(events)
+	if tree.Len() != workers*(tasks+1) {
+		t.Fatalf("tree has %d spans, want %d", tree.Len(), workers*(tasks+1))
+	}
+	if len(tree.Roots) != workers {
+		t.Fatalf("tree has %d roots, want %d", len(tree.Roots), workers)
+	}
+	for _, r := range tree.Roots {
+		if r.Name != "worker" || !r.Ended {
+			t.Errorf("root %q ended=%v, want worker ended", r.Name, r.Ended)
+		}
+		if len(r.Children) != tasks {
+			t.Fatalf("root %s has %d children, want %d", r.Attr, len(r.Children), tasks)
+		}
+		for _, c := range r.Children {
+			if !strings.HasPrefix(c.Attr, r.Attr+".") {
+				t.Errorf("child %q filed under root %q", c.Attr, r.Attr)
+			}
+			if !c.Ended || c.Leaves != 1 {
+				t.Errorf("child %q ended=%v leaves=%d, want ended with 1 leaf", c.Attr, c.Ended, c.Leaves)
+			}
+		}
+	}
+}
+
+// TestSpanTreeTolerance checks the reconstruction survives ragged traces:
+// an orphan child (parent id absent) becomes a root, an end without a
+// begin synthesises its node unended-begin style.
+func TestSpanTreeTolerance(t *testing.T) {
+	tree := obs.BuildSpanTree([]obs.Event{
+		{Kind: obs.KindSpanBegin, Name: "orphan", Span: 10, Parent: 99}, // parent 99 never appears
+		{Kind: obs.KindSpanEnd, Name: "orphan", Span: 10, Parent: 99, Dur: 5},
+		{Kind: obs.KindSpanEnd, Name: "cut", Span: 11, Dur: 7}, // begin lost
+		{Kind: obs.KindSpanBegin, Name: "unended", Span: 12},   // end lost
+	})
+	if tree.Len() != 3 || len(tree.Roots) != 3 {
+		t.Fatalf("tree has %d spans / %d roots, want 3/3", tree.Len(), len(tree.Roots))
+	}
+	if n := tree.Find(10); n == nil || !n.Ended || n.DurUS != 5 {
+		t.Errorf("orphan span = %+v, want ended dur=5", n)
+	}
+	if n := tree.Find(11); n == nil || n.Name != "cut" || !n.Ended {
+		t.Errorf("synthesised span = %+v, want cut ended", n)
+	}
+	if n := tree.Find(12); n == nil || n.Ended {
+		t.Errorf("unended span = %+v, want unended", n)
+	}
+}

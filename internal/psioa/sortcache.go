@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Sorted-action memoization for the exploration and scheduling hot paths.
@@ -52,6 +54,39 @@ var (
 	sortMemo   = make(map[sigIdent]memoEntry)
 )
 
+// Contention instruments for the sort memo. The memo sits on the hottest
+// scheduler paths, so its hit rate and reset churn are the direct signal
+// for the interned-ID contention hypothesis (ROADMAP item 2). Hits and
+// misses are one atomic add on paths that already take the memo lock.
+var (
+	cSortMemoHits   = obs.C("psioa.sortmemo.hits")
+	cSortMemoMisses = obs.C("psioa.sortmemo.misses")
+	cSortMemoResets = obs.C("psioa.sortmemo.resets")
+	gSortMemoSize   = obs.G("psioa.sortmemo.entries")
+)
+
+// SortMemoStats is a point-in-time view of the sorted-action memo: cumulative
+// hit/miss/reset counts and the entries currently pinned.
+type SortMemoStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Resets  int64 `json:"resets"`
+	Entries int   `json:"entries"`
+}
+
+// SortMemoSnapshot reads the memo's counters and current size.
+func SortMemoSnapshot() SortMemoStats {
+	sortMemoMu.RLock()
+	n := len(sortMemo)
+	sortMemoMu.RUnlock()
+	return SortMemoStats{
+		Hits:    cSortMemoHits.Value(),
+		Misses:  cSortMemoMisses.Value(),
+		Resets:  cSortMemoResets.Value(),
+		Entries: n,
+	}
+}
+
 // ResetSortMemo drops the process-global memo. Entries are recomputable, so
 // this only costs warm-up; callers that time independent workloads in one
 // process (benchmark harnesses) use it to unpin the previous workload's
@@ -62,6 +97,8 @@ func ResetSortMemo() {
 	sortMemoMu.Lock()
 	sortMemo = make(map[sigIdent]memoEntry)
 	sortMemoMu.Unlock()
+	cSortMemoResets.Inc()
+	gSortMemoSize.Set(0)
 }
 
 func setPtr(s ActionSet) uintptr {
@@ -77,8 +114,10 @@ func sortedMemoized(sig Signature, local bool) []Action {
 	ent, ok := sortMemo[key]
 	sortMemoMu.RUnlock()
 	if ok {
+		cSortMemoHits.Inc()
 		return ent.acts
 	}
+	cSortMemoMisses.Inc()
 	n := len(sig.Out) + len(sig.Int)
 	if !local {
 		n += len(sig.In)
@@ -108,8 +147,10 @@ func sortedMemoized(sig Signature, local bool) []Action {
 	sortMemoMu.Lock()
 	if len(sortMemo) >= sortMemoLimit {
 		sortMemo = make(map[sigIdent]memoEntry)
+		cSortMemoResets.Inc()
 	}
 	sortMemo[key] = memoEntry{in: sig.In, out: sig.Out, inner: sig.Int, acts: acts}
+	gSortMemoSize.Set(int64(len(sortMemo)))
 	sortMemoMu.Unlock()
 	return acts
 }

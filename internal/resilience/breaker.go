@@ -3,6 +3,7 @@ package resilience
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/obs"
@@ -81,6 +82,38 @@ func (b *Breaker) Open(key string) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.open[key]
+}
+
+// BreakerState is the observable state of one breaker key: whether its
+// circuit is open and how many consecutive panics it has accumulated.
+type BreakerState struct {
+	Key         string `json:"key"`
+	Open        bool   `json:"open"`
+	Consecutive int    `json:"consecutive"`
+}
+
+// Snapshot returns the state of every key the breaker is tracking (open
+// circuits and keys with a non-zero consecutive-panic count), sorted by
+// key for stable output. A nil breaker returns nil.
+func (b *Breaker) Snapshot() []BreakerState {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	keys := make(map[string]bool, len(b.open)+len(b.consec))
+	for k := range b.open {
+		keys[k] = true
+	}
+	for k := range b.consec {
+		keys[k] = true
+	}
+	out := make([]BreakerState, 0, len(keys))
+	for k := range keys {
+		out = append(out, BreakerState{Key: k, Open: b.open[k], Consecutive: b.consec[k]})
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // Reset closes key's circuit and clears its count (an operator action; the

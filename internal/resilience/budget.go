@@ -111,6 +111,20 @@ func SetDefaultBudget(b *Budget) *Budget {
 	return defaultBudget.Swap(b)
 }
 
+// DefaultBudget returns the process-wide fallback budget, or nil when none
+// is installed. Callers that substitute their own budget into a call path
+// (e.g. the engine's per-job metering) consult it so an operator-installed
+// -budget limit is never silently bypassed.
+func DefaultBudget() *Budget { return defaultBudget.Load() }
+
+// Limits reports the budget's configured bounds (zero = unlimited).
+func (b *Budget) Limits() (states, transitions int64, wall time.Duration) {
+	if b == nil {
+		return 0, 0, 0
+	}
+	return b.maxStates, b.maxTrans, b.wall
+}
+
 // pollEvery is the amortization factor of Checkpoint.Step: the context and
 // the shared budget are consulted once per pollEvery steps, bounding both
 // the per-step cost (two adds, a decrement, a branch) and the overshoot

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/measure"
 	"repro/internal/obs"
@@ -184,12 +185,26 @@ func (dm *DAGMeasure) Image(f func(q psioa.State, depth int) string) *measure.Di
 // sentinels, and a budget-bounded stop returns the sound sub-probability
 // prefix aggregated so far.
 func MeasureDAG(ctx context.Context, a psioa.PSIOA, s DepthOblivious, maxDepth int, b *resilience.Budget) (*DAGMeasure, error) {
+	return MeasureDAGOpts(ctx, a, s, maxDepth, b, Options{})
+}
+
+// MeasureDAGOpts is MeasureDAG threading kernel Options: the propagation
+// itself stays sequential (the collapsed workload rarely warrants
+// sharding), but a Stats collector receives per-level rows — one shard per
+// level with the nodes expanded and the level's wall time — and the dag
+// phase totals, so run reports cover DAG-routed jobs too.
+func MeasureDAGOpts(ctx context.Context, a psioa.PSIOA, s DepthOblivious, maxDepth int, b *resilience.Budget, o Options) (*DAGMeasure, error) {
 	sp := obs.Begin("sched.measure.dag", s.Name())
 	defer sp.End()
 	defer obs.Time("sched.measure.dag.us")()
 	cDagCalls.Inc()
 	if err := resilience.FireDelay(ctx, resilience.FaultSlowOp); err != nil {
 		return nil, err
+	}
+	collect := o.Stats != nil
+	var callStart time.Time
+	if collect {
+		callStart = time.Now()
 	}
 	dm := &DAGMeasure{}
 	start := a.Start()
@@ -207,6 +222,11 @@ func MeasureDAG(ctx context.Context, a psioa.PSIOA, s DepthOblivious, maxDepth i
 	var nodes int64
 outer:
 	for d := 0; len(order) > 0; d++ {
+		var levelStart time.Time
+		levelNodes := nodes
+		if collect {
+			levelStart = time.Now()
+		}
 		next := make(map[psioa.State]float64)
 		var nextOrder []psioa.State
 		for _, q := range order {
@@ -268,11 +288,19 @@ outer:
 				break outer
 			}
 		}
+		if collect {
+			wall := time.Since(levelStart).Microseconds()
+			o.Stats.recordLevel([]int64{int64(len(order))}, []int64{nodes - levelNodes}, []int64{wall})
+			o.Stats.recordDepth(d)
+		}
 		sort.Slice(nextOrder, func(i, j int) bool { return nextOrder[i] < nextOrder[j] })
 		cur, order = next, nextOrder
 	}
 	if err == nil && stopped == nil {
 		stopped = ck.Finish()
+	}
+	if collect {
+		o.Stats.recordCall("dag", time.Since(callStart).Microseconds(), nodes)
 	}
 	cDagNodes.Add(nodes)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/measure"
 	"repro/internal/obs"
@@ -35,6 +36,10 @@ type Options struct {
 	// Map tasks — the nested fan-out would deadlock on the pool semaphore;
 	// set Workers only in that case.
 	Pool Executor
+	// Stats, when set, collects per-level per-shard work and wall-time
+	// telemetry into the collector (see Stats). Nil — the default — skips
+	// all collection, including the per-shard clock reads.
+	Stats *Stats
 }
 
 func (o Options) workers() int {
@@ -120,6 +125,7 @@ type parShard struct {
 	next     []parItem
 	steps    int64
 	haltn    int64
+	wallUS   int64
 	err      error
 	errIdx   int
 	stop     error
@@ -152,7 +158,16 @@ const parMinFrontier = 8
 // events are emitted in breadth-first rather than depth-first order.
 func MeasureOpts(ctx context.Context, a psioa.PSIOA, s Scheduler, maxDepth int, b *resilience.Budget, o Options) (*ExecMeasure, error) {
 	if !o.Parallel() || maxDepth <= 0 {
-		return MeasureCtx(ctx, a, s, maxDepth, b)
+		if o.Stats == nil {
+			return MeasureCtx(ctx, a, s, maxDepth, b)
+		}
+		t0 := time.Now()
+		em, err := MeasureCtx(ctx, a, s, maxDepth, b)
+		o.Stats.recordCall("measure", time.Since(t0).Microseconds(), 0)
+		if em != nil {
+			o.Stats.recordDepth(em.MaxLen())
+		}
+		return em, err
 	}
 	sp := obs.Begin("sched.measure.par", s.Name())
 	defer sp.End()
@@ -163,25 +178,50 @@ func MeasureOpts(ctx context.Context, a psioa.PSIOA, s Scheduler, maxDepth int, 
 	workers := o.workers()
 	tr := obs.Active()
 	traced := tr.Enabled()
+	// Per-shard telemetry (and the clock reads feeding it) is collected
+	// only with a Stats collector or an enabled tracer, so undisturbed
+	// benchmarks keep the zero-instrumentation fast path.
+	collect := o.Stats != nil
+	timed := collect || traced
+	var callStart time.Time
+	if timed {
+		callStart = time.Now()
+	}
 	em := &ExecMeasure{
 		frags: make(map[string]weightedFrag),
 	}
 	frontier := []parItem{{psioa.NewFrag(a.Start()), 1}}
 	var steps, halts int64
 	var err, stopped error
-	for len(frontier) > 0 && err == nil && stopped == nil {
+	lastLevel := -1
+	for lvl := 0; len(frontier) > 0 && err == nil && stopped == nil; lvl++ {
+		lastLevel = lvl
 		parts := workers
 		if len(frontier) < parMinFrontier {
 			parts = 1
 		}
 		spans := splitSpans(len(frontier), parts)
 		outs := make([]parShard, len(spans))
+		var levelStart time.Time
+		if timed {
+			levelStart = time.Now()
+		}
 		var runErr error
 		if len(spans) == 1 {
 			expandShard(ctx, a, s, maxDepth, b, frontier, 0, traced, &outs[0])
+			if timed {
+				outs[0].wallUS = time.Since(levelStart).Microseconds()
+			}
 		} else {
 			runErr = o.run(ctx, len(spans), func(i int) error {
+				var t0 time.Time
+				if timed {
+					t0 = time.Now()
+				}
 				expandShard(ctx, a, s, maxDepth, b, frontier[spans[i].lo:spans[i].hi], spans[i].lo, traced, &outs[i])
+				if timed {
+					outs[i].wallUS = time.Since(t0).Microseconds()
+				}
 				return nil
 			})
 		}
@@ -229,7 +269,29 @@ func MeasureOpts(ctx context.Context, a psioa.PSIOA, s Scheduler, maxDepth int, 
 			}
 			next = append(next, outs[i].next...)
 		}
+		if collect {
+			widths := make([]int64, len(outs))
+			items := make([]int64, len(outs))
+			walls := make([]int64, len(outs))
+			for i := range outs {
+				widths[i] = int64(spans[i].hi - spans[i].lo)
+				items[i] = outs[i].steps
+				walls[i] = outs[i].wallUS
+			}
+			o.Stats.recordLevel(widths, items, walls)
+		}
+		if traced {
+			for i := range outs {
+				tr.Emit(obs.Event{Kind: obs.KindShard, Name: s.Name(),
+					Attr: fmt.Sprintf("L%d.S%d", lvl, i), N: outs[i].steps,
+					Dur: outs[i].wallUS, Parent: sp.ID()})
+			}
+		}
 		frontier = next
+	}
+	if collect {
+		o.Stats.recordCall("measure", time.Since(callStart).Microseconds(), 0)
+		o.Stats.recordDepth(lastLevel)
 	}
 	cMeasureCalls.Inc()
 	cMeasureSteps.Add(steps)
@@ -349,6 +411,17 @@ func SampleImageOpts(ctx context.Context, a psioa.PSIOA, s Scheduler, stream *rn
 	keys := make([]string, n)
 	spans := splitSpans(n, o.workers())
 	outs := make([]parShard, len(spans))
+	sp := obs.Begin("sched.sample.par", s.Name())
+	defer sp.End()
+	defer obs.Time("sched.sample.par.us")()
+	tr := obs.Active()
+	traced := tr.Enabled()
+	collect := o.Stats != nil
+	timed := collect || traced
+	var callStart time.Time
+	if timed {
+		callStart = time.Now()
+	}
 	sampleRange := func(i int) {
 		lo, hi := spans[i].lo, spans[i].hi
 		ck := resilience.NewCheckpoint(ctx, b)
@@ -368,12 +441,22 @@ func SampleImageOpts(ctx context.Context, a psioa.PSIOA, s Scheduler, stream *rn
 			outs[i].err, outs[i].errIdx = err, hi
 		}
 	}
+	timedRange := func(i int) {
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
+		sampleRange(i)
+		if timed {
+			outs[i].wallUS = time.Since(t0).Microseconds()
+		}
+	}
 	var runErr error
 	if len(spans) == 1 {
-		sampleRange(0)
+		timedRange(0)
 	} else {
 		runErr = o.run(ctx, len(spans), func(i int) error {
-			sampleRange(i)
+			timedRange(i)
 			return nil
 		})
 	}
@@ -386,6 +469,28 @@ func SampleImageOpts(ctx context.Context, a psioa.PSIOA, s Scheduler, stream *rn
 	}
 	if err == nil {
 		err = runErr
+	}
+	if timed && err == nil {
+		callWallUS := time.Since(callStart).Microseconds()
+		if collect {
+			widths := make([]int64, len(outs))
+			walls := make([]int64, len(outs))
+			for i := range outs {
+				widths[i] = int64(spans[i].hi - spans[i].lo)
+				walls[i] = outs[i].wallUS
+			}
+			// Sampling has no levels: the whole run is one barrier, and
+			// every sample in a shard's span was drawn, so items = width.
+			o.Stats.recordLevel(widths, widths, walls)
+			o.Stats.recordCall("sample", callWallUS, 0)
+		}
+		if traced {
+			for i := range outs {
+				tr.Emit(obs.Event{Kind: obs.KindShard, Name: s.Name(),
+					Attr: fmt.Sprintf("S%d", i), N: int64(spans[i].hi - spans[i].lo),
+					Dur: outs[i].wallUS, Parent: sp.ID()})
+			}
+		}
 	}
 	if err != nil {
 		return nil, err

@@ -1,0 +1,42 @@
+#!/bin/sh
+# prom_check.sh — minimal Prometheus text exposition format (0.0.4)
+# checker. Reads an exposition body on stdin (or from the file given as
+# $1) and fails unless every line is a well-formed comment or sample, at
+# least one sample is present, and every sample's family was declared by
+# a preceding # TYPE line. This is what gates dsed's
+# /v1/metrics?format=prom output in make obs-smoke.
+set -eu
+
+if [ "$#" -ge 1 ]; then
+    exec < "$1"
+fi
+
+awk '
+    BEGIN { samples = 0; bad = 0 }
+    /^$/ { next }
+    /^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary|histogram|untyped)$/ {
+        typed[$3] = 1; next
+    }
+    /^# HELP / { next }
+    /^#/ { print "prom_check: bad comment line " NR ": " $0; bad = 1; next }
+    # Sample: name{labels} value  |  name value
+    /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/ {
+        name = $1
+        sub(/\{.*/, "", name)
+        # _sum/_count/quantile samples belong to their summary family.
+        base = name
+        sub(/_(sum|count)$/, "", base)
+        if (!(name in typed) && !(base in typed)) {
+            print "prom_check: sample without # TYPE at line " NR ": " $0
+            bad = 1
+        }
+        samples++
+        next
+    }
+    { print "prom_check: malformed line " NR ": " $0; bad = 1 }
+    END {
+        if (samples == 0) { print "prom_check: no samples"; bad = 1 }
+        if (bad) exit 1
+        print "prom_check: ok (" samples " samples)"
+    }
+'
