@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-par bench-compare bench-smoke daemon-smoke obs-smoke chaos check clean
+.PHONY: build test race vet bench bench-json bench-par bench-compare bench-smoke daemon-smoke obs-smoke cluster-smoke chaos check clean
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/sched/... ./internal/psioa/... ./internal/engine/... ./cmd/dsed/...
+	$(GO) test -race ./internal/obs/... ./internal/sched/... ./internal/psioa/... ./internal/engine/... ./internal/cluster/... ./cmd/dsed/...
 
 vet:
 	$(GO) vet ./...
@@ -22,7 +22,7 @@ bench:
 # line). Compare two recordings with scripts/bench_compare.sh; see
 # docs/PERFORMANCE.md.
 bench-json:
-	$(GO) run ./cmd/dsebench -json BENCH_5.json
+	$(GO) run ./cmd/dsebench -json BENCH_6.json
 
 # bench-par runs the parallel-vs-sequential kernels at GOMAXPROCS 1 and at
 # the host default: the sharded expansion, the DAG collapse, and the
@@ -32,10 +32,10 @@ bench-par:
 	GOMAXPROCS=1 $(GO) test -bench='Parallel|DAG' -benchtime=1x -run='^$$' .
 	$(GO) test -bench='Parallel|DAG' -benchtime=1x -run='^$$' .
 
-# bench-compare fails when the current recording (BENCH_5.json) regresses
-# more than 20% against the previous PR's baseline (BENCH_4.json).
+# bench-compare fails when the current recording (BENCH_6.json) regresses
+# more than 20% against the previous PR's baseline (BENCH_5.json).
 bench-compare:
-	sh scripts/bench_compare.sh BENCH_4.json BENCH_5.json
+	sh scripts/bench_compare.sh BENCH_5.json BENCH_6.json
 
 # bench-smoke is the short-mode wiring for check: one fast experiment
 # through the -json path, self-compared through bench_compare.sh, so the
@@ -57,19 +57,26 @@ daemon-smoke:
 obs-smoke:
 	sh scripts/obs_smoke.sh
 
+# cluster-smoke starts a 1-coordinator + 2-worker dsed cluster on scratch
+# ports and runs a two-environment check through the coordinator twice: the
+# answers must be byte-identical and the second pass served from the
+# workers' content-addressed stores. See docs/CLUSTER.md.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
 # chaos runs the fault-injected suite under the race detector: worker
 # panics, transient job faults, cache eviction, slow operations and queue
 # saturation, through both the engine and the daemon's HTTP surface. See
 # docs/ROBUSTNESS.md for the fault-point catalogue.
 chaos:
-	$(GO) test -race -run Chaos ./internal/engine/... ./internal/sched/... ./cmd/dsed/...
+	$(GO) test -race -run Chaos ./internal/engine/... ./internal/sched/... ./internal/cluster/... ./cmd/dsed/...
 	$(GO) test -race ./internal/resilience/...
 
 # check is the tier-1 gate plus static analysis, the race-sensitive
 # packages, the chaos suite, the bench tooling smoke, the parallel-kernel
-# smoke, the baseline comparison, and the daemon end-to-end smoke; run
-# before every commit.
-check: build vet test race chaos bench-smoke bench-par bench-compare daemon-smoke obs-smoke
+# smoke, the baseline comparison, and the daemon and cluster end-to-end
+# smokes; run before every commit.
+check: build vet test race chaos bench-smoke bench-par bench-compare daemon-smoke obs-smoke cluster-smoke
 
 clean:
 	$(GO) clean ./...

@@ -20,7 +20,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/resilience"
@@ -45,6 +47,7 @@ func main() {
 	q2 := flag.Int("q2", 0, "right scheduler bound (default q1)")
 	workers := flag.Int("workers", 0, "worker pool size for jobs and the parallel measure kernels (0 = GOMAXPROCS, 1 = sequential)")
 	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "memoization cache entries (0 = default)")
+	clusterURL := flag.String("cluster", "", "run the check on a dsed cluster: URL of the coordinator (or a single worker)")
 	verbose := flag.Bool("v", false, "print every (environment, scheduler) pair")
 	explain := flag.Bool("explain", false, "print the per-job run report (work counters, shard balance, cache hit ratio, phase walls)")
 	timeout := flag.Duration("timeout", 0, "abort after this wall-clock time (0 = no limit)")
@@ -83,8 +86,7 @@ func main() {
 		exit(2)
 	}
 
-	r := engine.NewRunner(engine.NewPool(*workers), engine.NewCache(*cacheSize))
-	res, err := r.Run(ctx, engine.Job{Kind: engine.KindCheck, Check: &engine.CheckSpec{
+	job := engine.Job{Kind: engine.KindCheck, Check: &engine.CheckSpec{
 		Left:      *left,
 		Right:     *right,
 		Envs:      envs,
@@ -93,9 +95,28 @@ func main() {
 		Eps:       *eps,
 		Q1:        *q1,
 		Q2:        *q2,
-	}})
+	}}
+	if *timeout > 0 {
+		job.TimeoutMS = timeout.Milliseconds()
+	}
+	var res *engine.Result
+	if *clusterURL != "" {
+		// Remote mode: ship the job to a dsed coordinator (or plain
+		// worker) instead of computing locally. The report it returns is
+		// byte-identical to the local run (docs/CLUSTER.md).
+		backend := cluster.NewRemoteBackend(*clusterURL, *clusterURL, resilience.Backoff{
+			Attempts: 3, Base: 25 * time.Millisecond, Cap: 2 * time.Second, Jitter: 0.2, Seed: 1,
+		})
+		res, err = backend.Run(ctx, job)
+	} else {
+		r := engine.NewRunner(engine.NewPool(*workers), engine.NewCache(*cacheSize))
+		res, err = r.Run(ctx, job)
+	}
 	fatal(err)
 	rep := res.Check
+	if rep == nil {
+		fatal(fmt.Errorf("no check report in result"))
+	}
 
 	fmt.Printf("%s ≤_{%g} %s [schema %s, q1=%d]: %v\n", *left, *eps, *right, schema.Name(), *q1, rep.Holds)
 	fmt.Printf("  pairs checked: %d, measured max distance: %.6g\n", len(rep.Pairs), rep.MaxDist)

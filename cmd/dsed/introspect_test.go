@@ -61,8 +61,8 @@ type debugResponse struct {
 		Status    string `json:"status"`
 		ElapsedMS int64  `json:"elapsed_ms"`
 	} `json:"jobs"`
-	Breakers []resilience.BreakerState `json:"breakers"`
-	CacheLen int                       `json:"cache_len"`
+	Breakers    []resilience.BreakerState `json:"breakers"`
+	CacheLen    int                       `json:"cache_len"`
 	CacheShards []struct {
 		Shard  int   `json:"shard"`
 		Len    int   `json:"len"`

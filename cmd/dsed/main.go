@@ -25,9 +25,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/resilience"
@@ -46,9 +48,19 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "grace period for in-flight jobs on shutdown")
 	budgetStates := flag.Int64("budget-states", 0, "default per-job state budget (0 = unlimited)")
 	budgetTrans := flag.Int64("budget-transitions", 0, "default per-job transition budget (0 = unlimited)")
+	workerID := flag.String("worker-id", "", "stable node identity stamped on results (default: hostname + addr)")
+	coordinator := flag.String("coordinator", "", "comma-separated worker URLs; non-empty runs this daemon as a cluster coordinator (see docs/CLUSTER.md)")
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
 	fatal(ocli.Start())
+
+	if *workerID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "dsed"
+		}
+		*workerID = host + *addr
+	}
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -77,12 +89,40 @@ func main() {
 		ctx:     jobCtx,
 		started: time.Now(),
 	}
+	srv.runner.WorkerID = *workerID
+	if *coordinator != "" {
+		// Coordinator mode: jobs shard across the listed workers. Each
+		// backend is identified by its URL — stable across coordinator
+		// restarts, which keeps rendezvous placement stable too. The
+		// retry budget mirrors the async store's.
+		var backends []cluster.Backend
+		for _, raw := range strings.Split(*coordinator, ",") {
+			u := strings.TrimSpace(raw)
+			if u == "" {
+				continue
+			}
+			backends = append(backends, cluster.NewRemoteBackend(u, u, resilience.Backoff{
+				Attempts: *retries + 1,
+				Base:     25 * time.Millisecond,
+				Cap:      2 * time.Second,
+				Jitter:   0.2,
+				Seed:     1,
+			}))
+		}
+		coord, err := cluster.NewCoordinator(backends...)
+		fatal(err)
+		srv.coord = coord
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "dsed: listening on %s (workers=%d, cache=%d, queue=%d)\n",
-			*addr, srv.runner.Pool.Workers(), *cacheSize, *queue)
+		mode := ""
+		if srv.coord != nil {
+			mode = fmt.Sprintf(", coordinator over %d workers", len(srv.coord.Backends()))
+		}
+		fmt.Fprintf(os.Stderr, "dsed: listening on %s (worker-id=%s, workers=%d, cache=%d, queue=%d%s)\n",
+			*addr, *workerID, srv.runner.Pool.Workers(), *cacheSize, *queue, mode)
 		errCh <- hs.ListenAndServe()
 	}()
 

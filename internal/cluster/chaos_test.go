@@ -1,0 +1,71 @@
+package cluster_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/resilience"
+)
+
+// TestChaosCluster runs a sweep under injected transient transport faults
+// (resilience.FaultJobTransient fires inside every worker's Runner.Run):
+// the coordinator's per-shard retry must absorb the blips with zero lost
+// jobs and the merged reports byte-identical to the fault-free local run.
+func TestChaosCluster(t *testing.T) {
+	job := chanJob()
+	want := localBaseline(t, job) // baseline computed before arming faults
+
+	restore := resilience.InstallInjector(
+		resilience.NewInjector(42).Arm(resilience.FaultJobTransient, 0.3))
+	defer restore()
+
+	coord, _ := localCluster(t, 3)
+	coord.Retry = resilience.Backoff{Attempts: 8, Base: time.Millisecond, Cap: 10 * time.Millisecond}
+	for run := 0; run < 4; run++ {
+		res, err := coord.Run(context.Background(), job)
+		if err != nil {
+			t.Fatalf("run %d lost the job: %v", run, err)
+		}
+		if got := renderReport(t, res.Result); got != want {
+			t.Fatalf("run %d report differs from fault-free local run:\n got: %s\nwant: %s", run, got, want)
+		}
+	}
+	st := coord.Stats()
+	for _, w := range st.Workers {
+		if w.Down {
+			t.Fatalf("transient faults marked a worker down: %+v", st)
+		}
+	}
+}
+
+// TestChaosClusterDegenerate pins the same property on a single-node
+// cluster: no survivor exists, so only the retry loop stands between a
+// transient blip and a lost job.
+func TestChaosClusterDegenerate(t *testing.T) {
+	job := engine.Job{Kind: engine.KindCheck, Check: &engine.CheckSpec{
+		Left:  "coin:biased:x:0.625",
+		Right: "coin:fair:x",
+		Envs:  []string{"coin:env:x"},
+		Eps:   0.125,
+		Q1:    3, Q2: 3,
+	}}
+	want := localBaseline(t, job)
+
+	restore := resilience.InstallInjector(
+		resilience.NewInjector(7).Arm(resilience.FaultJobTransient, 0.5))
+	defer restore()
+
+	coord, _ := localCluster(t, 1)
+	coord.Retry = resilience.Backoff{Attempts: 16, Base: time.Millisecond, Cap: 10 * time.Millisecond}
+	for run := 0; run < 4; run++ {
+		res, err := coord.Run(context.Background(), job)
+		if err != nil {
+			t.Fatalf("run %d lost the job: %v", run, err)
+		}
+		if got := renderReport(t, res.Result); got != want {
+			t.Fatalf("run %d report differs under faults", run)
+		}
+	}
+}

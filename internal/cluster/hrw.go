@@ -1,0 +1,32 @@
+package cluster
+
+import "hash/fnv"
+
+// hrwScore ranks backend id for key under rendezvous (highest-random-weight)
+// hashing: fnv64a over id, a separator that cannot appear in fingerprints,
+// then key. Each (id, key) pair scores independently, so removing a node
+// re-homes only the keys it owned and adding one steals only the keys it
+// now wins — the minimal-movement property the shared store relies on.
+func hrwScore(id, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// pickHRW returns the index in ids of the rendezvous winner for key, or -1
+// if ids is empty. Ties (astronomically unlikely with fnv64a, but the
+// merge discipline tolerates nothing nondeterministic) break toward the
+// lexicographically smallest id.
+func pickHRW(ids []string, key string) int {
+	best := -1
+	var bestScore uint64
+	for i, id := range ids {
+		s := hrwScore(id, key)
+		if best == -1 || s > bestScore || (s == bestScore && id < ids[best]) {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestHRWDeterministic pins that placement depends only on (ids, key) —
+// not on list order.
+func TestHRWDeterministic(t *testing.T) {
+	ids := []string{"w1", "w2", "w3"}
+	rev := []string{"w3", "w2", "w1"}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("job-%016x", i)
+		a := ids[pickHRW(ids, key)]
+		b := rev[pickHRW(rev, key)]
+		if a != b {
+			t.Fatalf("key %s: order-dependent placement %s vs %s", key, a, b)
+		}
+	}
+}
+
+// TestHRWMinimalMovement pins the rendezvous property the shared store
+// relies on: removing one node re-homes only the keys it owned.
+func TestHRWMinimalMovement(t *testing.T) {
+	full := []string{"w1", "w2", "w3", "w4"}
+	without := []string{"w1", "w2", "w4"}
+	moved, kept := 0, 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("job-%016x", i*7919)
+		before := full[pickHRW(full, key)]
+		after := without[pickHRW(without, key)]
+		if before == "w3" {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %s moved from surviving node %s to %s", key, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestHRWSpreads sanity-checks that placement is not degenerate: over many
+// keys every node of a 4-node cluster owns something.
+func TestHRWSpreads(t *testing.T) {
+	ids := []string{"w1", "w2", "w3", "w4"}
+	counts := make(map[string]int)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("job-%016x", i*104729)
+		counts[ids[pickHRW(ids, key)]]++
+	}
+	for _, id := range ids {
+		if counts[id] == 0 {
+			t.Fatalf("node %s owns no keys: %v", id, counts)
+		}
+	}
+}
+
+// TestHRWEmpty pins the no-candidates sentinel.
+func TestHRWEmpty(t *testing.T) {
+	if got := pickHRW(nil, "job-x"); got != -1 {
+		t.Fatalf("pickHRW(nil) = %d, want -1", got)
+	}
+}

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// MockBackend is a scriptable in-memory Backend for coordinator tests. It
+// can delegate real work to an engine.Runner (so failure-path tests still
+// produce real reports to compare byte-for-byte) while injecting deaths,
+// one-shot failures and per-job hooks at the transport boundary.
+type MockBackend struct {
+	id string
+	// Runner, when set, computes jobs for real; without it Run fails.
+	runner *engine.Runner
+
+	mu    sync.Mutex
+	dead  bool
+	store map[string][]byte
+	// failNext errors the next n Run calls with a transport failure.
+	failNext int
+	// hook, when set, runs before each job; a non-nil return preempts it.
+	hook func(job engine.Job) error
+	// log records every job fingerprint this backend was asked to run.
+	log []string
+}
+
+// NewMockBackend builds a mock named id. runner may be nil for tests that
+// only exercise routing and error policy.
+func NewMockBackend(id string, runner *engine.Runner) *MockBackend {
+	if runner != nil {
+		runner.WorkerID = id
+	}
+	return &MockBackend{id: id, runner: runner, store: make(map[string][]byte)}
+}
+
+// ID implements Backend.
+func (b *MockBackend) ID() string { return b.id }
+
+// Kill makes the node unreachable until Revive.
+func (b *MockBackend) Kill() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.dead = true
+}
+
+// Revive brings a killed node back.
+func (b *MockBackend) Revive() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.dead = false
+}
+
+// FailNext makes the next n Run calls fail with a transport error (the
+// node stays up afterwards — a blip, not a death).
+func (b *MockBackend) FailNext(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failNext = n
+}
+
+// SetHook installs fn to run before each job; returning a non-nil error
+// preempts the job with it. Use it to kill the node mid-sweep.
+func (b *MockBackend) SetHook(fn func(job engine.Job) error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.hook = fn
+}
+
+// Log returns the fingerprints of every job routed to this backend.
+func (b *MockBackend) Log() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.log...)
+}
+
+// Run implements Backend.
+func (b *MockBackend) Run(ctx context.Context, job engine.Job) (*engine.Result, error) {
+	b.mu.Lock()
+	b.log = append(b.log, job.Fingerprint())
+	dead, hook := b.dead, b.hook
+	failing := b.failNext > 0
+	if failing {
+		b.failNext--
+	}
+	b.mu.Unlock()
+	if dead {
+		return nil, &UnreachableError{Node: b.id, Err: errors.New("node down")}
+	}
+	if failing {
+		return nil, &UnreachableError{Node: b.id, Err: errors.New("connection reset")}
+	}
+	if hook != nil {
+		if err := hook(job); err != nil {
+			return nil, err
+		}
+	}
+	if b.runner == nil {
+		return nil, fmt.Errorf("cluster: mock %s has no runner", b.id)
+	}
+	return b.runner.RunSafe(ctx, job)
+}
+
+// Health implements Backend.
+func (b *MockBackend) Health(ctx context.Context) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.dead {
+		return &UnreachableError{Node: b.id, Err: errors.New("node down")}
+	}
+	return ctx.Err()
+}
+
+// StoreGet implements Backend over the in-memory map.
+func (b *MockBackend) StoreGet(ctx context.Context, key string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.dead {
+		return nil, &UnreachableError{Node: b.id, Err: errors.New("node down")}
+	}
+	data, ok := b.store[key]
+	if !ok {
+		return nil, fmt.Errorf("cluster: mock %s: %w", b.id, engine.ErrCacheMiss)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// StorePut implements Backend over the in-memory map.
+func (b *MockBackend) StorePut(ctx context.Context, key string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.dead {
+		return &UnreachableError{Node: b.id, Err: errors.New("node down")}
+	}
+	b.store[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// Stats implements Backend.
+func (b *MockBackend) Stats() BackendStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BackendStats{Jobs: int64(len(b.log)), StorePuts: int64(len(b.store))}
+}

@@ -1,0 +1,284 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/resilience"
+)
+
+// RemoteBackend speaks dsed's HTTP job API. The client is mutex-guarded and
+// redialed (idle connections torn down, transport state reset) after any
+// transport-level failure, and each request is wrapped in resilience.Retry
+// so brief disconnects and load sheds (503) heal without the coordinator
+// noticing — only an exhausted retry budget surfaces as UnreachableError
+// and triggers re-routing.
+type RemoteBackend struct {
+	id   string
+	base string
+	// Backoff drives the per-request retry loop. The zero value means a
+	// single attempt (no retries).
+	backoff resilience.Backoff
+
+	mu     sync.Mutex
+	client *http.Client
+
+	jobs      atomic.Int64
+	errs      atomic.Int64
+	storeGets atomic.Int64
+	storeHits atomic.Int64
+	storePuts atomic.Int64
+	redials   atomic.Int64
+}
+
+// NewRemoteBackend targets the dsed worker at baseURL (e.g.
+// "http://127.0.0.1:8080"), identified as id for sharding and attribution.
+// backoff governs per-request retries of transient failures.
+func NewRemoteBackend(id, baseURL string, backoff resilience.Backoff) *RemoteBackend {
+	return &RemoteBackend{
+		id:      id,
+		base:    strings.TrimRight(baseURL, "/"),
+		backoff: backoff,
+		client:  &http.Client{Transport: &http.Transport{}},
+	}
+}
+
+// URL returns the worker's base URL.
+func (b *RemoteBackend) URL() string { return b.base }
+
+// ID implements Backend.
+func (b *RemoteBackend) ID() string { return b.id }
+
+// httpClient returns the current client under the mutex.
+func (b *RemoteBackend) httpClient() *http.Client {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.client
+}
+
+// redial resets the client after a transport failure: idle connections are
+// closed and a fresh transport installed, so the next attempt dials anew
+// instead of reusing a half-dead keep-alive connection (the miniclient
+// reconnect pattern, translated to HTTP).
+func (b *RemoteBackend) redial() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.redials.Add(1)
+	if t, ok := b.client.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+	b.client = &http.Client{Transport: &http.Transport{}}
+}
+
+// do issues one HTTP request with retry-on-transient and redial-on-
+// transport-failure. It returns the response body and status, or an error:
+// UnreachableError for exhausted transport failures, a re-classified
+// *WorkerError for job-level failures the worker reported.
+func (b *RemoteBackend) do(ctx context.Context, method, url string, body []byte, contentType string) (status int, respBody []byte, err error) {
+	attempt := func() error {
+		var rdr io.Reader
+		if body != nil {
+			rdr = bytes.NewReader(body)
+		}
+		req, rerr := http.NewRequestWithContext(ctx, method, url, rdr)
+		if rerr != nil {
+			return rerr
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, rerr := b.httpClient().Do(req)
+		if rerr != nil {
+			b.redial()
+			return &UnreachableError{Node: b.id, Err: rerr}
+		}
+		defer resp.Body.Close()
+		data, rerr := io.ReadAll(resp.Body)
+		if rerr != nil {
+			b.redial()
+			return &UnreachableError{Node: b.id, Err: rerr}
+		}
+		status, respBody = resp.StatusCode, data
+		if resp.StatusCode >= 400 {
+			return b.classify(resp.StatusCode, data)
+		}
+		return nil
+	}
+	err = resilience.Retry(ctx, b.backoff, attempt)
+	return status, respBody, err
+}
+
+// classify turns a worker's {error, class} payload into a typed error so
+// coordinator policy (re-route, fail fast, surface verbatim) keys off
+// errors.Is instead of string matching. Load sheds stay transient.
+func (b *RemoteBackend) classify(status int, body []byte) error {
+	var payload struct {
+		Error string `json:"error"`
+		Class string `json:"class"`
+	}
+	json.Unmarshal(body, &payload)
+	msg := payload.Error
+	if msg == "" {
+		msg = fmt.Sprintf("http %d", status)
+	}
+	return &WorkerError{Node: b.id, Status: status, Class: payload.Class, Msg: msg}
+}
+
+// WorkerError is a job-level failure reported by a worker over HTTP,
+// carrying the worker's resilience classification. Is() re-anchors it to
+// the matching resilience sentinel so the coordinator's error policy is
+// identical for local and remote backends.
+type WorkerError struct {
+	Node   string
+	Status int
+	// Class is the worker-side resilience.Class string ("queue-full",
+	// "quarantined", "deadline", ...), or "" for unclassified failures.
+	Class string
+	Msg   string
+}
+
+func (e *WorkerError) Error() string {
+	if e.Class != "" {
+		return fmt.Sprintf("cluster: worker %s: %s (%s)", e.Node, e.Msg, e.Class)
+	}
+	return fmt.Sprintf("cluster: worker %s: %s", e.Node, e.Msg)
+}
+
+// Is maps the wire classification back onto the resilience sentinels.
+func (e *WorkerError) Is(target error) bool {
+	switch e.Class {
+	case "queue-full":
+		return target == resilience.ErrQueueFull
+	case "quarantined":
+		return target == resilience.ErrQuarantined
+	case "budget":
+		return target == resilience.ErrBudgetExceeded
+	case "deadline":
+		return target == resilience.ErrDeadline
+	case "cancelled":
+		return target == resilience.ErrCancelled
+	}
+	return false
+}
+
+// Transient mirrors the worker-side classification: a shed (503) clears on
+// its own, everything else needs intervention or is deterministic.
+func (e *WorkerError) Transient() bool { return e.Status == http.StatusServiceUnavailable }
+
+// Run implements Backend: POST /v1/{kind} with the kind's spec as body and
+// the job limits as query overrides (the daemon's spec schema is strict, so
+// limits travel in the URL).
+func (b *RemoteBackend) Run(ctx context.Context, job engine.Job) (*engine.Result, error) {
+	b.jobs.Add(1)
+	var spec any
+	switch job.Kind {
+	case engine.KindCheck:
+		spec = job.Check
+	case engine.KindSimulate:
+		spec = job.Simulate
+	case engine.KindDescribe:
+		spec = job.Describe
+	default:
+		b.errs.Add(1)
+		return nil, fmt.Errorf("cluster: unknown job kind %q", job.Kind)
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		b.errs.Add(1)
+		return nil, fmt.Errorf("cluster: encode %s spec: %w", job.Kind, err)
+	}
+	q := make([]string, 0, 4)
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"timeout_ms", job.TimeoutMS},
+		{"budget_states", job.BudgetStates},
+		{"budget_transitions", job.BudgetTransitions},
+		{"budget_wall_ms", job.BudgetWallMS},
+	} {
+		if f.v > 0 {
+			q = append(q, f.name+"="+strconv.FormatInt(f.v, 10))
+		}
+	}
+	url := b.base + "/v1/" + job.Kind
+	if len(q) > 0 {
+		url += "?" + strings.Join(q, "&")
+	}
+	_, respBody, err := b.do(ctx, http.MethodPost, url, body, "application/json")
+	if err != nil {
+		b.errs.Add(1)
+		return nil, err
+	}
+	res := &engine.Result{}
+	if err := json.Unmarshal(respBody, res); err != nil {
+		b.errs.Add(1)
+		return nil, &UnreachableError{Node: b.id, Err: fmt.Errorf("bad result payload: %w", err)}
+	}
+	return res, nil
+}
+
+// Health implements Backend via the daemon's liveness probe.
+func (b *RemoteBackend) Health(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := b.httpClient().Do(req)
+	if err != nil {
+		b.redial()
+		return &UnreachableError{Node: b.id, Err: err}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &UnreachableError{Node: b.id, Err: fmt.Errorf("healthz %d", resp.StatusCode)}
+	}
+	return nil
+}
+
+// StoreGet implements Backend over GET /v1/store/{key}; a 404 comes back
+// wrapping engine.ErrCacheMiss so remote and local misses classify alike.
+func (b *RemoteBackend) StoreGet(ctx context.Context, key string) ([]byte, error) {
+	b.storeGets.Add(1)
+	status, body, err := b.do(ctx, http.MethodGet, b.base+"/v1/store/"+key, nil, "")
+	if err != nil {
+		if status == http.StatusNotFound {
+			return nil, fmt.Errorf("cluster: worker %s: %w", b.id, engine.ErrCacheMiss)
+		}
+		return nil, err
+	}
+	b.storeHits.Add(1)
+	return body, nil
+}
+
+// StorePut implements Backend over PUT /v1/store/{key}.
+func (b *RemoteBackend) StorePut(ctx context.Context, key string, data []byte) error {
+	b.storePuts.Add(1)
+	_, _, err := b.do(ctx, http.MethodPut, b.base+"/v1/store/"+key, data, "application/octet-stream")
+	return err
+}
+
+// Stats implements Backend.
+func (b *RemoteBackend) Stats() BackendStats {
+	return BackendStats{
+		Jobs:      b.jobs.Load(),
+		Errors:    b.errs.Load(),
+		StoreGets: b.storeGets.Load(),
+		StoreHits: b.storeHits.Load(),
+		StorePuts: b.storePuts.Load(),
+		Redials:   b.redials.Load(),
+	}
+}

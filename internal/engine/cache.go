@@ -3,6 +3,8 @@ package engine
 import (
 	"container/list"
 	"context"
+	"errors"
+	"fmt"
 	"hash/fnv"
 	"reflect"
 	"strconv"
@@ -274,6 +276,46 @@ func (c *Cache) Totals() (hits, misses, evictions, lockWaitUS int64) {
 		lockWaitUS += sh.lockWaitUS.Load()
 	}
 	return hits, misses, evictions, lockWaitUS
+}
+
+// ErrCacheMiss reports a key absent from the cache. The raw store facade
+// (GET /v1/store/{key} on dsed, cluster.Backend.StoreGet) classifies misses
+// with it so callers distinguish "not cached" from transport failures.
+var ErrCacheMiss = errors.New("engine: cache miss")
+
+// rawPrefix namespaces raw store entries inside the striped LRU so they can
+// never collide with the typed explore/measure/fdist memo keys.
+const rawPrefix = "raw|"
+
+// GetRaw returns the canonical bytes stored under key by PutRaw, or
+// ErrCacheMiss. Raw entries live in the same striped LRU as the kernel
+// memos — they are looked up by content-addressed key alone, with no
+// re-fingerprinting — and the lookup counts against the owning shard's
+// hit/miss counters like any other access, so remote store traffic stays
+// visible in ShardStats and the engine.cache.* metrics.
+func (c *Cache) GetRaw(key string) ([]byte, error) {
+	if c == nil {
+		return nil, ErrCacheMiss
+	}
+	v, ok := c.Get(rawPrefix + key)
+	if !ok {
+		return nil, ErrCacheMiss
+	}
+	b, ok := v.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("engine: raw store entry %q holds %T: %w", key, v, ErrCacheMiss)
+	}
+	return b, nil
+}
+
+// PutRaw stores canonical bytes under key (see GetRaw). The bytes are
+// copied, so callers may reuse their buffer; entries round-trip verbatim.
+// A nil cache drops the entry.
+func (c *Cache) PutRaw(key string, data []byte) {
+	if c == nil {
+		return
+	}
+	c.Put(rawPrefix+key, append([]byte(nil), data...))
 }
 
 // Fingerprint returns the canonical fingerprint of a, memoized by identity

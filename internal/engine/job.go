@@ -144,9 +144,13 @@ type DescribeResult struct {
 }
 
 // Result is the outcome of a job; the field matching the job's Kind is set.
-// Report is the job's telemetry account (always attached by Run).
+// Report is the job's telemetry account (always attached by Run). WorkerID
+// names the node that computed the result (see Runner.WorkerID) so merged
+// cluster reports and /v1/debug can attribute shards to nodes; it is empty
+// for anonymous runners.
 type Result struct {
 	Kind     string          `json:"kind"`
+	WorkerID string          `json:"worker_id,omitempty"`
 	Check    *core.Report    `json:"check,omitempty"`
 	Simulate *SimulateResult `json:"simulate,omitempty"`
 	Describe *DescribeResult `json:"describe,omitempty"`
@@ -163,9 +167,13 @@ var (
 // Both may be nil (sequential, uncached). The zero Resolve resolves system
 // references through internal/spec.
 type Runner struct {
-	Pool    *Pool
-	Cache   *Cache
-	Resolve func(ref string) (psioa.PSIOA, error)
+	Pool  *Pool
+	Cache *Cache
+	// WorkerID is a stable identity for this runner's node, stamped on
+	// every Result it produces (dsed derives it from -worker-id or the
+	// hostname). Empty leaves results unattributed.
+	WorkerID string
+	Resolve  func(ref string) (psioa.PSIOA, error)
 }
 
 // NewRunner returns a runner over the given pool and cache.
@@ -262,6 +270,7 @@ func (r *Runner) Run(ctx context.Context, job Job) (*Result, error) {
 		cJobsFailed.Inc()
 	}
 	if res != nil {
+		res.WorkerID = r.WorkerID
 		states1, trans1 := bud.Used()
 		hits1, miss1, evict1, lock1 := r.Cache.Totals()
 		memo1 := psioa.SortMemoSnapshot()

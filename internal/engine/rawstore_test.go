@@ -1,0 +1,70 @@
+package engine_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestRawStoreRoundTrip pins the canonical-bytes store path: PutRaw/GetRaw
+// round-trips exactly, misses classify as engine.ErrCacheMiss, and the
+// entries live in the same striped LRU as the typed memos (counted by the
+// shard hit/miss counters, so remote store traffic stays visible in
+// Cache.ShardStats).
+func TestRawStoreRoundTrip(t *testing.T) {
+	c := engine.NewCache(16)
+
+	if _, err := c.GetRaw("job-absent"); !errors.Is(err, engine.ErrCacheMiss) {
+		t.Fatalf("GetRaw on empty cache: err=%v, want ErrCacheMiss", err)
+	}
+
+	data := []byte(`{"kind":"check"}`)
+	c.PutRaw("job-0001", data)
+	got, err := c.GetRaw("job-0001")
+	if err != nil {
+		t.Fatalf("GetRaw after PutRaw: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("GetRaw = %q, want %q", got, data)
+	}
+
+	// The stored bytes are a private copy in both directions.
+	data[0] = 'X'
+	got2, err := c.GetRaw("job-0001")
+	if err != nil || got2[0] != '{' {
+		t.Fatalf("stored entry aliased caller bytes: %q, %v", got2, err)
+	}
+
+	hits, misses, _, _ := c.Totals()
+	if hits < 2 || misses < 1 {
+		t.Fatalf("raw traffic not counted: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestRawStoreNilCache pins the nil-receiver contract the store facade
+// relies on: GetRaw misses, PutRaw is a no-op.
+func TestRawStoreNilCache(t *testing.T) {
+	var c *engine.Cache
+	c.PutRaw("k", []byte("v"))
+	if _, err := c.GetRaw("k"); !errors.Is(err, engine.ErrCacheMiss) {
+		t.Fatalf("nil cache GetRaw: err=%v, want ErrCacheMiss", err)
+	}
+}
+
+// TestRawStoreNamespaced pins that raw entries cannot collide with typed
+// memo entries sharing the same key string.
+func TestRawStoreNamespaced(t *testing.T) {
+	c := engine.NewCache(16)
+	c.Put("job-0002", "typed")
+	c.PutRaw("job-0002", []byte("raw"))
+	v, ok := c.Get("job-0002")
+	if !ok || v != "typed" {
+		t.Fatalf("typed entry clobbered by raw put: %v %v", v, ok)
+	}
+	got, err := c.GetRaw("job-0002")
+	if err != nil || string(got) != "raw" {
+		t.Fatalf("raw entry: %q %v", got, err)
+	}
+}

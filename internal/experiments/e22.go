@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/protocols/channel"
+	"repro/internal/psioa"
+)
+
+// e22Limit bounds the reachability analyses, matching the E18 sweep.
+const e22Limit = 50000
+
+// e22Resolve maps the experiment's reference vocabulary onto the Def 4.26
+// comparison objects of the E8/E18 leaky-channel emulation:
+//
+//	e22:left:<leak> → hide(LeakyReal(x,leak)‖Eavesdropper(x), AAct)
+//	e22:right       → hide(Ideal(x)‖SimFor(x), AAct)
+//	e22:env:<bit>   → the environment sending bit 0 or 1
+//
+// Every cluster worker installs the same table, so a check job shipped to
+// any node resolves to the same automata — the cluster analogue of the
+// shared spec registry.
+func e22Resolve(ref string) (psioa.PSIOA, error) {
+	switch {
+	case strings.HasPrefix(ref, "e22:left:"):
+		leak, err := strconv.ParseFloat(strings.TrimPrefix(ref, "e22:left:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bad leak in ref %q: %w", ref, err)
+		}
+		return core.HideAAct(channel.LeakyReal("x", leak), channel.Eavesdropper("x"), e22Limit)
+	case ref == "e22:right":
+		return core.HideAAct(channel.Ideal("x"), channel.SimFor("x"), e22Limit)
+	case ref == "e22:env:0":
+		return channel.Env("x", 0), nil
+	case ref == "e22:env:1":
+		return channel.Env("x", 1), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown e22 ref %q", ref)
+	}
+}
+
+// e22Job is the check job for one leak value: the same comparison
+// SecureEmulates performs for the single adversary/simulator pair, expressed
+// over the e22 reference vocabulary so the coordinator can shard it by
+// environment.
+func e22Job(leak float64) engine.Job {
+	return engine.Job{Kind: engine.KindCheck, Check: &engine.CheckSpec{
+		Left:   "e22:left:" + strconv.FormatFloat(leak, 'g', -1, 64),
+		Right:  "e22:right",
+		Envs:   []string{"e22:env:0", "e22:env:1"},
+		Schema: "priority",
+		Templates: [][]string{
+			{"send", "encrypt", "tap", "notify", "fabricate", "g_tap", "guess", "deliver"},
+			{"send", "encrypt", "tap", "notify", "fabricate", "g_tap", "g_block", "block", "guess", "deliver"},
+			{"send", "encrypt", "tap", "notify", "deliver"},
+		},
+		Eps: leak / 2,
+		Q1:  8, Q2: 8,
+	}}
+}
+
+// e22Worker builds one cluster worker: a LocalBackend over its own pool and
+// cache (nothing shared in-process) with the e22 reference table installed.
+func e22Worker(id string) *cluster.LocalBackend {
+	r := engine.NewRunner(engine.NewPool(2), engine.NewCache(1024))
+	r.Resolve = e22Resolve
+	return cluster.NewLocalBackend(id, r)
+}
+
+// e22Pass runs the leak sweep through the coordinator and re-assembles the
+// per-leak EmulationReports exactly as core.SecureEmulates would: one
+// adversary pair, so Holds and PerAdv come straight from the merged report.
+func e22Pass(coord *cluster.Coordinator, advID string) ([]*core.EmulationReport, int, int, error) {
+	reps := make([]*core.EmulationReport, 0, len(e18Leaks))
+	shards, fromStore := 0, 0
+	for _, leak := range e18Leaks {
+		res, err := coord.Run(context.Background(), e22Job(leak))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		for _, sh := range res.Shards {
+			shards++
+			if sh.FromStore {
+				fromStore++
+			}
+		}
+		reps = append(reps, &core.EmulationReport{
+			Holds:  res.Check.Holds,
+			PerAdv: map[string]*core.Report{advID: res.Check},
+		})
+	}
+	return reps, shards, fromStore, nil
+}
+
+// E22ClusterEquivalence validates the cluster layer end to end: a
+// 1-coordinator + 3-worker in-process cluster sharding the E18 leak sweep by
+// environment must produce byte-identical EmulationReports to the
+// sequential, uncached local run (the outer environment quantifier of
+// Def 4.12 commutes with sharding; the merge recomputes Holds/MaxDist and
+// the canonical pair order). A second pass must be served from the workers'
+// content-addressed stores with nonzero cross-node hits, and adding a
+// fourth worker must leave every report identical and every shard
+// store-served — rendezvous placement re-homes ownership, but survivors
+// still answer the lookups.
+func E22ClusterEquivalence() (*Table, error) {
+	t := &Table{
+		ID:      "E22",
+		Title:   "cluster sharding + shared store preserve emulation reports (Def 4.12/4.26 over 3 workers)",
+		Header:  []string{"pass", "workers", "leaks", "shards", "from store", "remote hits", "identical"},
+		Workers: 2,
+		Kernel:  "parallel",
+		Cluster: "in-process-3",
+	}
+	hitsC := obs.C("cluster.remote.hits")
+
+	// Baseline: the sequential, uncached local sweep — the ground truth the
+	// cluster must reproduce byte for byte.
+	baseReps, err := e18Sweep(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	want := e18Render(baseReps)
+	t.Rows = append(t.Rows, []string{
+		"local", "1", fmt.Sprint(len(e18Leaks)), "—", "—", "—", "—",
+	})
+
+	advID := channel.Eavesdropper("x").ID()
+	workers := []*cluster.LocalBackend{e22Worker("e22-w1"), e22Worker("e22-w2"), e22Worker("e22-w3")}
+	coord, err := cluster.NewCoordinator(workers[0], workers[1], workers[2])
+	if err != nil {
+		return nil, err
+	}
+
+	identical := true
+	row := func(name string, n int, coord *cluster.Coordinator) (int, error) {
+		h0 := hitsC.Value()
+		reps, shards, fromStore, err := e22Pass(coord, advID)
+		if err != nil {
+			return 0, err
+		}
+		hits := int(hitsC.Value() - h0)
+		same := e18Render(reps) == want
+		identical = identical && same
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprint(n), fmt.Sprint(len(e18Leaks)),
+			fmt.Sprint(shards), fmt.Sprint(fromStore), fmt.Sprint(hits), fmt.Sprint(same),
+		})
+		return fromStore, nil
+	}
+
+	if _, err := row("cluster-cold", 3, coord); err != nil {
+		return nil, err
+	}
+	h1 := hitsC.Value()
+	warmStore, err := row("cluster-warm", 3, coord)
+	if err != nil {
+		return nil, err
+	}
+	warmHits := int(hitsC.Value() - h1)
+
+	// Scale out: a fourth (empty) worker shifts rendezvous ownership, but
+	// the lookups fall through to the nodes that computed the shards.
+	scaled, err := cluster.NewCoordinator(workers[0], workers[1], workers[2], e22Worker("e22-w4"))
+	if err != nil {
+		return nil, err
+	}
+	scaledStore, err := row("cluster-scaled", 4, scaled)
+	if err != nil {
+		return nil, err
+	}
+
+	totalShards := 2 * len(e18Leaks)
+	ok := identical && e18Holds(baseReps) &&
+		warmHits >= 1 && warmStore == totalShards && scaledStore == totalShards
+	t.Verdict = verdict(ok, fmt.Sprintf(
+		"reports identical=%v, warm pass %d/%d shards store-served (%d remote hits), scaled pass %d/%d",
+		identical, warmStore, totalShards, warmHits, scaledStore, totalShards))
+	return t, nil
+}

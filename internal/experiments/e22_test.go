@@ -1,0 +1,25 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestE22(t *testing.T) {
+	tbl, err := experiments.E22ClusterEquivalence()
+	checkTable(t, tbl, err)
+	res := tbl.Result()
+	if res.Cluster != "in-process-3" {
+		t.Errorf("E22 cluster provenance = %q, want in-process-3", res.Cluster)
+	}
+}
+
+// TestResultClusterOmitted pins that single-runner experiments keep an empty
+// cluster field (omitted from dsebench -json output).
+func TestResultClusterOmitted(t *testing.T) {
+	tbl := &experiments.Table{ID: "X", Verdict: "PASS"}
+	if res := tbl.Result(); res.Cluster != "" {
+		t.Errorf("defaulted cluster = %q, want empty", res.Cluster)
+	}
+}
