@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-par bench-compare bench-smoke daemon-smoke obs-smoke cluster-smoke chaos check clean
+.PHONY: build test race vet bench bench-json bench-par bench-compare bench-smoke no-string-keys daemon-smoke obs-smoke cluster-smoke chaos check clean
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ bench:
 # line). Compare two recordings with scripts/bench_compare.sh; see
 # docs/PERFORMANCE.md.
 bench-json:
-	$(GO) run ./cmd/dsebench -json BENCH_6.json
+	$(GO) run ./cmd/dsebench -json BENCH_7.json
 
 # bench-par runs the parallel-vs-sequential kernels at GOMAXPROCS 1 and at
 # the host default: the sharded expansion, the DAG collapse, and the
@@ -32,10 +32,17 @@ bench-par:
 	GOMAXPROCS=1 $(GO) test -bench='Parallel|DAG' -benchtime=1x -run='^$$' .
 	$(GO) test -bench='Parallel|DAG' -benchtime=1x -run='^$$' .
 
-# bench-compare fails when the current recording (BENCH_6.json) regresses
-# more than 20% against the previous PR's baseline (BENCH_5.json).
+# bench-compare fails when the current recording (BENCH_7.json) regresses
+# more than 20% against the previous PR's baseline (BENCH_6.json).
 bench-compare:
-	sh scripts/bench_compare.sh BENCH_5.json BENCH_6.json
+	sh scripts/bench_compare.sh BENCH_6.json BENCH_7.json
+
+# no-string-keys guards the interned measure core's representation
+# boundary: string-keyed maps are banned from the kernel files and allowed
+# in the measure's view layer only on annotated lines. See
+# docs/PERFORMANCE.md ("The interned core").
+no-string-keys:
+	sh scripts/no_string_keys.sh
 
 # bench-smoke is the short-mode wiring for check: one fast experiment
 # through the -json path, self-compared through bench_compare.sh, so the
@@ -76,7 +83,7 @@ chaos:
 # packages, the chaos suite, the bench tooling smoke, the parallel-kernel
 # smoke, the baseline comparison, and the daemon and cluster end-to-end
 # smokes; run before every commit.
-check: build vet test race chaos bench-smoke bench-par bench-compare daemon-smoke obs-smoke cluster-smoke
+check: build vet no-string-keys test race chaos bench-smoke bench-par bench-compare daemon-smoke obs-smoke cluster-smoke
 
 clean:
 	$(GO) clean ./...

@@ -284,8 +284,34 @@ func (c *Cache) Totals() (hits, misses, evictions, lockWaitUS int64) {
 var ErrCacheMiss = errors.New("engine: cache miss")
 
 // rawPrefix namespaces raw store entries inside the striped LRU so they can
-// never collide with the typed explore/measure/fdist memo keys.
+// never collide with the typed explore/measure/fdist memo keys: raw keys
+// start with the printable byte 'r', typed memo keys with a control byte.
 const rawPrefix = "raw|"
+
+// Typed memo keys are fixed-width: one kind byte plus the 16-byte fnv-1a
+// 128 hash of the key parts. Seventeen bytes regardless of fingerprint,
+// scheduler-name or insight-ID length, so shard routing and LRU map probes
+// stop re-hashing long concatenated strings on every cache access.
+const (
+	memoExplore byte = 0x01
+	memoMeasure byte = 0x02
+	memoFDist   byte = 0x03
+)
+
+// memoKey builds the fixed-width key for a typed memo entry. Parts are
+// NUL-separated before hashing, so no concatenation of distinct part
+// tuples aliases; kind bytes keep the typed namespaces disjoint from each
+// other and from rawPrefix.
+func memoKey(kind byte, parts ...string) string {
+	h := fnv.New128a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	b := make([]byte, 1, 17)
+	b[0] = kind
+	return string(h.Sum(b))
+}
 
 // GetRaw returns the canonical bytes stored under key by PutRaw, or
 // ErrCacheMiss. Raw entries live in the same striped LRU as the kernel
@@ -365,7 +391,7 @@ func (c *Cache) ExploreCtx(ctx context.Context, a psioa.PSIOA, limit int, b *res
 	if err != nil {
 		return nil, err
 	}
-	key := "explore|" + fp + "|" + strconv.Itoa(limit)
+	key := memoKey(memoExplore, fp, strconv.Itoa(limit))
 	if v, ok := c.Get(key); ok {
 		return v.(*psioa.Exploration), nil
 	}
@@ -395,7 +421,7 @@ func (c *Cache) MeasureCtx(ctx context.Context, a psioa.PSIOA, s sched.Scheduler
 	if err != nil {
 		return nil, err
 	}
-	key := "measure|" + fp + "|" + s.Name() + "|" + strconv.Itoa(maxDepth)
+	key := memoKey(memoMeasure, fp, s.Name(), strconv.Itoa(maxDepth))
 	if v, ok := c.Get(key); ok {
 		return v.(*sched.ExecMeasure), nil
 	}
@@ -419,7 +445,7 @@ func (c *Cache) MeasureOpts(ctx context.Context, a psioa.PSIOA, s sched.Schedule
 	if err != nil {
 		return nil, err
 	}
-	key := "measure|" + fp + "|" + s.Name() + "|" + strconv.Itoa(maxDepth)
+	key := memoKey(memoMeasure, fp, s.Name(), strconv.Itoa(maxDepth))
 	if v, ok := c.Get(key); ok {
 		return v.(*sched.ExecMeasure), nil
 	}
@@ -450,7 +476,7 @@ func (c *Cache) FDistCtx(ctx context.Context, w psioa.PSIOA, s sched.Scheduler, 
 	if err != nil {
 		return nil, err
 	}
-	key := "fdist|" + fp + "|" + s.Name() + "|" + f.ID + "|" + strconv.Itoa(maxDepth)
+	key := memoKey(memoFDist, fp, s.Name(), f.ID, strconv.Itoa(maxDepth))
 	if v, ok := c.Get(key); ok {
 		return v.(*measure.Dist[string]), nil
 	}
@@ -477,7 +503,7 @@ func (c *Cache) FDistOpts(ctx context.Context, w psioa.PSIOA, s sched.Scheduler,
 	if err != nil {
 		return nil, err
 	}
-	key := "fdist|" + fp + "|" + s.Name() + "|" + f.ID + "|" + strconv.Itoa(maxDepth)
+	key := memoKey(memoFDist, fp, s.Name(), f.ID, strconv.Itoa(maxDepth))
 	if v, ok := c.Get(key); ok {
 		return v.(*measure.Dist[string]), nil
 	}

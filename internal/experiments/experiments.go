@@ -1032,6 +1032,7 @@ func Runners() (ids []string, byID map[string]func() (*Table, error)) {
 		{"E19", E19ParallelMeasure}, {"E20", E20DAGCollapse},
 		{"E21", E21ShardTelemetry},
 		{"E22", E22ClusterEquivalence},
+		{"E23", E23InternedCore},
 	}
 	byID = make(map[string]func() (*Table, error), len(entries))
 	for _, e := range entries {

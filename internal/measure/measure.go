@@ -44,6 +44,7 @@ type Dist[T comparable] struct {
 type distCDF[T comparable] struct {
 	keys  []T
 	reprs []string
+	ps    []float64 // raw weights aligned with keys (struct-of-arrays view)
 	cum   []float64
 }
 
@@ -77,10 +78,13 @@ func buildCDF[T comparable](w map[T]float64) *distCDF[T] {
 	} else if ks, ok := any(c.keys).([]string); ok {
 		c.reprs = ks
 	}
+	c.ps = make([]float64, len(c.keys))
 	c.cum = make([]float64, len(c.keys))
 	acc := 0.0
 	for i, k := range c.keys {
-		acc += w[k]
+		p := w[k]
+		c.ps[i] = p
+		acc += p
 		c.cum[i] = acc
 	}
 	return c
@@ -242,6 +246,16 @@ func (d *Dist[T]) Support() []T {
 // MUST NOT be modified by the caller; it stays valid until the next
 // mutation. Use Support for an owned copy.
 func (d *Dist[T]) SortedSupport() []T { return d.view().keys }
+
+// SupportAndProbs returns the sorted support together with the aligned raw
+// weights — the struct-of-arrays view the measure kernels iterate instead
+// of probing the weight map per element (ps[i] == P(keys[i]) bit for bit).
+// Both slices are shared with the internal cache and MUST NOT be modified;
+// they stay valid until the next mutation.
+func (d *Dist[T]) SupportAndProbs() (keys []T, ps []float64) {
+	c := d.view()
+	return c.keys, c.ps
+}
 
 // ForEach calls f for every (element, mass) pair with positive mass.
 func (d *Dist[T]) ForEach(f func(x T, p float64)) {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/codec"
+	"repro/internal/intern"
 	"repro/internal/measure"
 	"repro/internal/obs"
 )
@@ -31,6 +32,15 @@ type Product struct {
 	id    string
 	comps []PSIOA
 
+	// Per-product caches stay mutex-guarded plain maps on purpose: an
+	// exploration sweep inserts a fresh entry for nearly every state it
+	// visits, and for that insert-heavy profile a snapshot-promoting
+	// read-mostly map (intern.RM) pays O(n) copies over and over — the
+	// shared *bounded* memo tables (sortcache, choicecache) are where RM
+	// earns its keep. The transition cache stays two chained string-keyed
+	// maps rather than one struct-keyed map: string keys get the runtime's
+	// faststr map path, which a composite struct key forfeits. Values are
+	// immutable once stored.
 	mu         sync.Mutex
 	sigCache   map[State]Signature
 	compatOK   map[State]bool
@@ -53,13 +63,14 @@ func Compose(auts ...PSIOA) (*Product, error) {
 			comps = append(comps, a)
 		}
 	}
-	seen := make(map[string]bool, len(comps))
+	// The interner's freshness bit is exactly the duplicate check: a
+	// component ID that is not fresh was already seen.
+	seen := intern.NewTable(len(comps))
 	ids := make([]string, len(comps))
 	for i, c := range comps {
-		if seen[c.ID()] {
+		if _, fresh := seen.Intern(c.ID()); !fresh {
 			return nil, fmt.Errorf("psioa: Compose: duplicate component identifier %q", c.ID())
 		}
-		seen[c.ID()] = true
 		ids[i] = c.ID()
 	}
 	cComposeCalls.Inc()

@@ -26,6 +26,11 @@ type Frag struct {
 	depth  int
 	key    string
 	hasKey bool
+	// ord+1, where ord is the dense per-expansion intern ID assigned by the
+	// measure kernels (retention order); 0 means unassigned. Like key it is
+	// write-once and unsynchronized: the kernel assigns it single-threaded
+	// before the fragment is shared.
+	ord uint32
 }
 
 // NewFrag returns the zero-length fragment at q0.
@@ -102,6 +107,24 @@ func (f *Frag) StateAt(i int) State { return f.at(i).last }
 
 // ActionAt returns aⁱ⁺¹ (the action leaving state i).
 func (f *Frag) ActionAt(i int) Action { return f.at(i + 1).act }
+
+// SetInternID assigns the fragment's dense per-expansion intern ID. The
+// measure kernels call it exactly once per retained fragment, from the
+// single-threaded retention path (the sequential worklist or the parallel
+// merge), before the fragment escapes to concurrent readers; the ID then
+// indexes slice-backed views (cone masses, halt indexes) so the interior of
+// a measure never hashes the fragment's string key. IDs are meaningful only
+// relative to the expansion that assigned them — consumers must check
+// identity against that expansion's fragment list before trusting one.
+func (f *Frag) SetInternID(id uint32) { f.ord = id + 1 }
+
+// InternID returns the dense per-expansion intern ID, if one was assigned.
+func (f *Frag) InternID() (uint32, bool) {
+	if f.ord == 0 {
+		return 0, false
+	}
+	return f.ord - 1, true
+}
 
 // Extend returns the fragment α⌢(a, q′) = α lstate(α) a q′ in O(1), sharing
 // α as the new fragment's prefix.

@@ -1,8 +1,7 @@
 package sched
 
 import (
-	"sync"
-
+	"repro/internal/intern"
 	"repro/internal/measure"
 	"repro/internal/psioa"
 )
@@ -16,32 +15,25 @@ import (
 // (map, Dist, CDF) per step dominates sampling. Choices returned by
 // Scheduler.Choose are read-only by contract — every consumer in this
 // module only reads them (Measure, Sample, Mixture, FactorsThrough) — so
-// identical choices can be shared. Both caches are bounded and dropped
-// wholesale when full, like the psioa sort memo.
+// identical choices can be shared. Both caches are read-mostly concurrent
+// maps (steady-state hits take no lock, so parallel shards stop
+// serializing on an RWMutex per step), bounded and dropped wholesale when
+// full, like the psioa sort memo.
 
 const choiceCacheLimit = 1 << 16
 
-var (
-	diracMu      sync.RWMutex
-	diracChoices = make(map[psioa.Action]*Choice)
-)
+var diracChoices = intern.NewRM[psioa.Action, *Choice](choiceCacheLimit)
 
 // diracChoice returns the shared Dirac choice on a. The result must be
-// treated as read-only.
+// treated as read-only. Racing first touches may briefly create duplicate
+// (equivalent) choices; last write wins, as in the locked cache this
+// replaces.
 func diracChoice(a psioa.Action) *Choice {
-	diracMu.RLock()
-	c, ok := diracChoices[a]
-	diracMu.RUnlock()
-	if ok {
+	if c, ok := diracChoices.Get(a); ok {
 		return c
 	}
-	c = measure.Dirac(a)
-	diracMu.Lock()
-	if len(diracChoices) >= choiceCacheLimit {
-		diracChoices = make(map[psioa.Action]*Choice)
-	}
-	diracChoices[a] = c
-	diracMu.Unlock()
+	c := measure.Dirac(a)
+	diracChoices.Set(a, c)
 	return c
 }
 
@@ -58,28 +50,17 @@ type uniformEntry struct {
 	c    *Choice
 }
 
-var (
-	uniformMu      sync.RWMutex
-	uniformChoices = make(map[uniformKey]uniformEntry)
-)
+var uniformChoices = intern.NewRM[uniformKey, uniformEntry](choiceCacheLimit)
 
 // uniformChoice returns the shared uniform choice over the non-empty acts
 // slice, which must be immutable (the sort-memo slices are). The result
 // must be treated as read-only.
 func uniformChoice(acts []psioa.Action) *Choice {
 	key := uniformKey{first: &acts[0], n: len(acts)}
-	uniformMu.RLock()
-	ent, ok := uniformChoices[key]
-	uniformMu.RUnlock()
-	if ok {
+	if ent, ok := uniformChoices.Get(key); ok {
 		return ent.c
 	}
 	c := measure.Uniform(acts)
-	uniformMu.Lock()
-	if len(uniformChoices) >= choiceCacheLimit {
-		uniformChoices = make(map[uniformKey]uniformEntry)
-	}
-	uniformChoices[key] = uniformEntry{acts: acts, c: c}
-	uniformMu.Unlock()
+	uniformChoices.Set(key, uniformEntry{acts: acts, c: c})
 	return c
 }

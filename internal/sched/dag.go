@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/intern"
 	"repro/internal/measure"
 	"repro/internal/obs"
 	"repro/internal/psioa"
@@ -216,8 +217,25 @@ func MeasureDAGOpts(ctx context.Context, a psioa.PSIOA, s DepthOblivious, maxDep
 		return dm, nil
 	}
 	ck := resilience.NewCheckpoint(ctx, b)
-	cur := map[psioa.State]float64{start: 1}
-	order := []psioa.State{start}
+	// Interned core: states get dense per-call IDs on first touch, and the
+	// two frontier mass vectors are plain slices indexed by ID — no
+	// string-keyed map in the propagation loop. Level membership is tracked
+	// by an epoch mark (not mass != 0), so a sum that underflows to zero
+	// cannot change the insertion order the pre-interning map kernel had.
+	// First touch in an epoch assigns rather than accumulates, which also
+	// retires stale mass left from two levels ago when the vectors swap.
+	tbl := intern.NewTable(64)
+	startID := tbl.ID(string(start))
+	curMass := []float64{1}
+	nextMass := []float64{0}
+	seenEpoch := []uint32{0}
+	epoch := uint32(0)
+	order := []uint32{startID}
+	var nextOrder []uint32
+	// succIDs memoizes the interned sorted support of each transition
+	// distribution. Dists are pointer-stable (automata cache them), so a
+	// state revisited across levels interns its successors once.
+	succIDs := make(map[*measure.Dist[psioa.State]][]uint32)
 	var err, stopped error
 	var nodes int64
 outer:
@@ -227,10 +245,10 @@ outer:
 		if collect {
 			levelStart = time.Now()
 		}
-		next := make(map[psioa.State]float64)
-		var nextOrder []psioa.State
-		for _, q := range order {
-			m := cur[q]
+		epoch++
+		nextOrder = nextOrder[:0]
+		for _, qid := range order {
+			m := curMass[qid]
 			if m < pruneBelow {
 				continue
 			}
@@ -238,6 +256,7 @@ outer:
 				break outer
 			}
 			nodes++
+			q := psioa.State(tbl.Str(qid))
 			choice := s.ChooseAt(q, d)
 			if !choice.IsSubProb() {
 				err = fmt.Errorf("sched: scheduler %q returned mass %v > 1 at state %q depth %d: %w", s.Name(), choice.Total(), q, d, ErrOverMass)
@@ -259,8 +278,9 @@ outer:
 			}
 			sig := a.Sig(q)
 			var kids int64
-			for _, act := range choice.SortedSupport() {
-				pa := choice.P(act)
+			acts, aps := choice.SupportAndProbs()
+			for ai, act := range acts {
+				pa := aps[ai]
 				if pa <= 0 {
 					continue
 				}
@@ -270,17 +290,35 @@ outer:
 				}
 				resilience.FirePanic(resilience.FaultTransitionPanic)
 				eta := a.Trans(q, act)
-				for _, q2 := range eta.SortedSupport() {
-					pq := eta.P(q2)
+				ids, ok := succIDs[eta]
+				if !ok {
+					qs, _ := eta.SupportAndProbs()
+					ids = make([]uint32, len(qs))
+					for i, q2 := range qs {
+						ids[i] = tbl.ID(string(q2))
+					}
+					succIDs[eta] = ids
+				}
+				for n := tbl.Len(); len(curMass) < n; {
+					curMass = append(curMass, 0)
+					nextMass = append(nextMass, 0)
+					seenEpoch = append(seenEpoch, 0)
+				}
+				_, pqs := eta.SupportAndProbs()
+				for qi, q2id := range ids {
+					pq := pqs[qi]
 					if pq <= 0 {
 						continue
 					}
-					if _, seen := next[q2]; !seen {
-						nextOrder = append(nextOrder, q2)
-					}
 					// Mass accumulates in (source state, action, successor)
 					// sorted order — deterministic for a fixed workload.
-					next[q2] += m * pa * pq
+					if seenEpoch[q2id] != epoch {
+						seenEpoch[q2id] = epoch
+						nextOrder = append(nextOrder, q2id)
+						nextMass[q2id] = m * pa * pq
+					} else {
+						nextMass[q2id] += m * pa * pq
+					}
 					kids++
 				}
 			}
@@ -293,8 +331,9 @@ outer:
 			o.Stats.recordLevel([]int64{int64(len(order))}, []int64{nodes - levelNodes}, []int64{wall})
 			o.Stats.recordDepth(d)
 		}
-		sort.Slice(nextOrder, func(i, j int) bool { return nextOrder[i] < nextOrder[j] })
-		cur, order = next, nextOrder
+		sort.Slice(nextOrder, func(i, j int) bool { return tbl.Str(nextOrder[i]) < tbl.Str(nextOrder[j]) })
+		curMass, nextMass = nextMass, curMass
+		order, nextOrder = nextOrder, order[:0]
 	}
 	if err == nil && stopped == nil {
 		stopped = ck.Finish()

@@ -187,9 +187,7 @@ func MeasureOpts(ctx context.Context, a psioa.PSIOA, s Scheduler, maxDepth int, 
 	if timed {
 		callStart = time.Now()
 	}
-	em := &ExecMeasure{
-		frags: make(map[string]weightedFrag),
-	}
+	em := &ExecMeasure{}
 	frontier := []parItem{{psioa.NewFrag(a.Start()), 1}}
 	var steps, halts int64
 	var err, stopped error
@@ -253,15 +251,16 @@ func MeasureOpts(ctx context.Context, a psioa.PSIOA, s Scheduler, maxDepth int, 
 			err = nil
 		}
 		// Index-ordered merge: shard outputs are concatenated in frontier
-		// order, so map insertion, halting-mass accumulation, trace
+		// order, so intern-ID assignment, halting-mass accumulation, trace
 		// emission and the next frontier all match a sequential
-		// breadth-first expansion.
+		// breadth-first expansion. The merge is the single-threaded
+		// retention path, so it owns intern-ID assignment.
 		next := make([]parItem, 0, len(frontier))
 		for i := range outs {
-			em.prefList = append(em.prefList, outs[i].prefixes...)
-			for _, wf := range outs[i].halts {
-				em.add(wf.frag, wf.p)
+			for _, f := range outs[i].prefixes {
+				em.retain(f)
 			}
+			em.halts = append(em.halts, outs[i].halts...)
 			if traced {
 				for _, ev := range outs[i].events {
 					tr.Emit(ev)
@@ -296,9 +295,11 @@ func MeasureOpts(ctx context.Context, a psioa.PSIOA, s Scheduler, maxDepth int, 
 	cMeasureCalls.Inc()
 	cMeasureSteps.Add(steps)
 	cMeasureHalts.Add(halts)
+	// Shards partition each level's frontier, so merged halts are distinct
+	// fragments and the halt count is exactly the support size.
 	cMeasureFrags.Add(int64(len(em.prefList)))
-	gMeasureSupport.SetMax(int64(len(em.frags)))
-	obs.H("sched.measure.support").Observe(float64(len(em.frags)))
+	gMeasureSupport.SetMax(int64(len(em.halts)))
+	obs.H("sched.measure.support").Observe(float64(len(em.halts)))
 	if err != nil {
 		return nil, err
 	}
@@ -318,10 +319,11 @@ func MeasureOpts(ctx context.Context, a psioa.PSIOA, s Scheduler, maxDepth int, 
 // validation errors, same (action, successor) child order, same checkpoint
 // charges. Scheduler choices and automaton transitions must be safe for
 // concurrent use (all built-in schedulers are; their choice caches are
-// locked and their identifying fields are read-only). Fragment keys are
-// forced here so the single-threaded merge does no hashing; the level
-// barrier gives the required happens-before between a parent's first Key
-// call and its children's.
+// read-mostly concurrent maps and their identifying fields are read-only).
+// Fragment string keys are never touched here: retention is interned, and
+// keys materialize lazily at the boundary views, whose sync.Once (reached
+// only after every level barrier) provides the happens-before for the
+// write-once key cache.
 func expandShard(ctx context.Context, a psioa.PSIOA, s Scheduler, maxDepth int, b *resilience.Budget, items []parItem, base int, traced bool, out *parShard) {
 	ck := resilience.NewCheckpoint(ctx, b)
 	for j := range items {
@@ -333,7 +335,6 @@ func expandShard(ctx context.Context, a psioa.PSIOA, s Scheduler, maxDepth int, 
 			out.stop, out.stopIdx = stop, base+j
 			return
 		}
-		f.Key()
 		out.prefixes = append(out.prefixes, f)
 		choice := s.Choose(f)
 		out.steps++
@@ -360,8 +361,9 @@ func expandShard(ctx context.Context, a psioa.PSIOA, s Scheduler, maxDepth int, 
 		lst := f.LState()
 		sig := a.Sig(lst)
 		kidStart := len(out.next)
-		for _, act := range choice.SortedSupport() {
-			pa := choice.P(act)
+		acts, aps := choice.SupportAndProbs()
+		for ai, act := range acts {
+			pa := aps[ai]
 			if pa <= 0 {
 				continue
 			}
@@ -375,8 +377,9 @@ func expandShard(ctx context.Context, a psioa.PSIOA, s Scheduler, maxDepth int, 
 			}
 			resilience.FirePanic(resilience.FaultTransitionPanic)
 			eta := a.Trans(lst, act)
-			for _, q2 := range eta.SortedSupport() {
-				pq := eta.P(q2)
+			qs, qps := eta.SupportAndProbs()
+			for qi, q2 := range qs {
+				pq := qps[qi]
 				if pq <= 0 {
 					continue
 				}

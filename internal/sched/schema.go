@@ -2,7 +2,10 @@ package sched
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
+	"repro/internal/intern"
 	"repro/internal/psioa"
 )
 
@@ -90,19 +93,46 @@ func (o *ObliviousSchema) Enumerate(a psioa.PSIOA, bound int) ([]Scheduler, erro
 
 // FixedSchema is an explicit finite schema: a fixed list of schedulers per
 // automaton identifier (falling back to Default for unknown automata).
+// PerAut is declarative configuration; the first Enumerate freezes it into
+// an interned index (automaton ID -> dense slot), so the exhaustive
+// checkers' per-automaton lookups stop re-hashing identifier strings.
+// Mutating PerAut after the first Enumerate has no effect.
 type FixedSchema struct {
 	ID      string
 	PerAut  map[string][]Scheduler
 	Default func(a psioa.PSIOA, bound int) []Scheduler
+
+	once  sync.Once
+	idx   *intern.Table
+	byIdx [][]Scheduler
 }
 
 // Name implements Schema.
 func (f *FixedSchema) Name() string { return f.ID }
 
+// index builds (once) the interned per-automaton lookup, in sorted ID
+// order so slot assignment is deterministic.
+func (f *FixedSchema) index() {
+	f.once.Do(func() {
+		ids := make([]string, 0, len(f.PerAut))
+		for id := range f.PerAut {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		f.idx = intern.NewTable(len(ids))
+		f.byIdx = make([][]Scheduler, 0, len(ids))
+		for _, id := range ids {
+			f.idx.Intern(id)
+			f.byIdx = append(f.byIdx, f.PerAut[id])
+		}
+	})
+}
+
 // Enumerate implements Schema.
 func (f *FixedSchema) Enumerate(a psioa.PSIOA, bound int) ([]Scheduler, error) {
-	if ss, ok := f.PerAut[a.ID()]; ok {
-		return ss, nil
+	f.index()
+	if slot, ok := f.idx.Lookup(a.ID()); ok {
+		return f.byIdx[slot], nil
 	}
 	if f.Default != nil {
 		return f.Default(a, bound), nil
