@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-par bench-compare bench-smoke no-string-keys daemon-smoke obs-smoke cluster-smoke chaos check clean
+.PHONY: build test race vet bench bench-json bench-par bench-compare bench-smoke no-string-keys daemon-smoke obs-smoke cluster-smoke durable-smoke chaos check clean
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,12 @@ obs-smoke:
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
 
+# durable-smoke SIGKILLs a dsed with a durable store directory mid-queue
+# and restarts it: zero lost jobs, at least one result served from disk
+# instead of recomputed. See docs/DURABILITY.md.
+durable-smoke:
+	sh scripts/durable_smoke.sh
+
 # chaos runs the fault-injected suite under the race detector: worker
 # panics, transient job faults, cache eviction, slow operations and queue
 # saturation, through both the engine and the daemon's HTTP surface. See
@@ -81,9 +87,9 @@ chaos:
 
 # check is the tier-1 gate plus static analysis, the race-sensitive
 # packages, the chaos suite, the bench tooling smoke, the parallel-kernel
-# smoke, the baseline comparison, and the daemon and cluster end-to-end
-# smokes; run before every commit.
-check: build vet no-string-keys test race chaos bench-smoke bench-par bench-compare daemon-smoke obs-smoke cluster-smoke
+# smoke, the baseline comparison, and the daemon, cluster, and durability
+# end-to-end smokes; run before every commit.
+check: build vet no-string-keys test race chaos bench-smoke bench-par bench-compare daemon-smoke obs-smoke cluster-smoke durable-smoke
 
 clean:
 	$(GO) clean ./...

@@ -25,11 +25,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/resilience"
@@ -50,6 +52,10 @@ func main() {
 	budgetTrans := flag.Int64("budget-transitions", 0, "default per-job transition budget (0 = unlimited)")
 	workerID := flag.String("worker-id", "", "stable node identity stamped on results (default: hostname + addr)")
 	coordinator := flag.String("coordinator", "", "comma-separated worker URLs; non-empty runs this daemon as a cluster coordinator (see docs/CLUSTER.md)")
+	storeDir := flag.String("store-dir", "", "directory for the durable content-addressed result store; empty keeps results in memory only (see docs/DURABILITY.md)")
+	journalPath := flag.String("journal", "", "write-ahead job journal path (default: <store-dir>/journal.jsonl when -store-dir is set; empty with no -store-dir disables journaling)")
+	storeMax := flag.Int("store-max", durable.DefaultMaxEntries, "durable store entry bound before LRU eviction")
+	fsync := flag.Bool("fsync", true, "fsync durable store commits and journal appends (disabling trades crash durability of the tail for speed; torn writes are still quarantined, never served)")
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
 	fatal(ocli.Start())
@@ -62,6 +68,26 @@ func main() {
 		*workerID = host + *addr
 	}
 
+	// Durability layer: a disk-backed content-addressed store under the
+	// cache's raw namespace, plus a write-ahead journal of async job
+	// lifecycles. Either piece runs alone; both empty means the daemon is
+	// memory-only, exactly as before.
+	var dm *durable.Manager
+	if *storeDir != "" || *journalPath != "" {
+		var ds *durable.DiskStore
+		if *storeDir != "" {
+			var err error
+			ds, err = durable.Open(*storeDir, durable.StoreOptions{MaxEntries: *storeMax, NoFsync: !*fsync})
+			fatal(err)
+			if *journalPath == "" {
+				*journalPath = filepath.Join(*storeDir, "journal.jsonl")
+			}
+		}
+		jr, err := durable.OpenJournal(*journalPath, !*fsync)
+		fatal(err)
+		dm = durable.NewManager(jr, ds)
+	}
+
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	// Jobs run under their own context, decoupled from the shutdown
@@ -70,7 +96,7 @@ func main() {
 	jobCtx, jobCancel := context.WithCancel(context.Background())
 	defer jobCancel()
 
-	store := engine.NewStoreWith(engine.StoreConfig{
+	storeCfg := engine.StoreConfig{
 		QueueLimit: *queue,
 		Breaker:    resilience.NewBreaker(*breakerK),
 		Retry: resilience.Backoff{
@@ -80,16 +106,44 @@ func main() {
 			Jitter:   0.2,
 			Seed:     1,
 		},
-	})
+	}
+	if dm != nil {
+		storeCfg.Journal = dm
+	}
+	store := engine.NewStoreWith(storeCfg)
 	srv := &server{
 		runner:  engine.NewRunner(engine.NewPool(*workers), engine.NewCache(*cacheSize)),
 		store:   store,
 		timeout: *timeout,
+		durable: dm,
 		budget:  budgetDefaults{states: *budgetStates, transitions: *budgetTrans},
 		ctx:     jobCtx,
 		started: time.Now(),
 	}
 	srv.runner.WorkerID = *workerID
+	if dm != nil && dm.Store() != nil {
+		// The disk store becomes the tier under the cache's raw namespace:
+		// memory misses fall through to it, raw puts write through, so the
+		// warm store survives restarts and cluster peers are served from
+		// disk after a worker bounce.
+		srv.runner.Cache.SetRawBacking(dm.Store())
+	}
+	if dm != nil {
+		// Replay the journal before accepting traffic: completed results
+		// are restored from the disk store (byte-identical), and
+		// accepted-but-unfinished jobs are re-enqueued under their original
+		// IDs — unless their result is already stored, in which case the
+		// idempotency guard serves it instead of recomputing.
+		stats, err := dm.Replay(jobCtx, store, srv.runner)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsed: journal replay:", err)
+		}
+		dm.SetReplay(stats)
+		if stats.Jobs > 0 {
+			fmt.Fprintf(os.Stderr, "dsed: replayed %d journal records: %d jobs, %d restored (%d served from store), %d re-enqueued\n",
+				stats.Records, stats.Jobs, stats.Restored, stats.Served, stats.Requeued)
+		}
+	}
 	if *coordinator != "" {
 		// Coordinator mode: jobs shard across the listed workers. Each
 		// backend is identified by its URL — stable across coordinator
@@ -111,6 +165,17 @@ func main() {
 		}
 		coord, err := cluster.NewCoordinator(backends...)
 		fatal(err)
+		// Background revival re-probe: an idle coordinator (no job traffic
+		// to trigger the lazy revive) still notices a restarted worker. The
+		// cadence backs off while an outage persists and resets when a node
+		// rejoins.
+		coord.StartReprobe(jobCtx, resilience.Backoff{
+			Attempts: 1,
+			Base:     500 * time.Millisecond,
+			Cap:      15 * time.Second,
+			Jitter:   0.2,
+			Seed:     2,
+		})
 		srv.coord = coord
 	}
 	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
@@ -143,6 +208,12 @@ func main() {
 			lastCtx, lastCancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer lastCancel()
 			store.Drain(lastCtx)
+		}
+		// Close the journal after the drain so every terminal record of the
+		// drained jobs lands on disk; cancelled stragglers journal as failed
+		// with class "cancelled" and are re-enqueued by the next replay.
+		if dm != nil {
+			dm.Journal().Close()
 		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {

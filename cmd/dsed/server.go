@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/psioa"
@@ -37,6 +38,10 @@ type server struct {
 	// coord, when non-nil, puts the daemon in coordinator mode: sync jobs
 	// are sharded across the cluster's workers instead of run locally.
 	coord *cluster.Coordinator
+	// durable, when non-nil, is the crash-safety layer (-store-dir /
+	// -journal): the disk store backing the cache's raw namespace and the
+	// write-ahead job journal (see docs/DURABILITY.md).
+	durable *durable.Manager
 	// budget is the default per-job work budget applied when a request
 	// does not set its own (zero fields = unlimited).
 	budget budgetDefaults
@@ -171,6 +176,10 @@ type debugState struct {
 	// only): each worker's liveness, traffic and store counters plus the
 	// dispatch/re-route/store-hit totals.
 	Cluster *cluster.CoordinatorStats `json:"cluster,omitempty"`
+	// Durable is the crash-safety layer's account (present only with
+	// -store-dir/-journal): disk store occupancy and hit/corrupt counters,
+	// journal path and append count, and the boot-time replay stats.
+	Durable *durable.DebugStats `json:"durable,omitempty"`
 }
 
 // debugJob is one queued or running job in the /v1/debug view.
@@ -221,6 +230,7 @@ func (s *server) debugInfo() debugState {
 		st := s.coord.Stats()
 		d.Cluster = &st
 	}
+	d.Durable = s.durable.Debug()
 	return d
 }
 

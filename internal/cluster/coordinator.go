@@ -8,10 +8,12 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/resilience"
+	"repro/internal/rng"
 )
 
 // Coordinator shards jobs across a fixed set of backends and merges the
@@ -147,10 +149,13 @@ func (c *Coordinator) markDown(id string) {
 	}
 }
 
-// revive re-probes nodes marked down and brings responders back. Run calls
-// it once up front, so a restarted worker rejoins on the next job without
-// any background machinery.
-func (c *Coordinator) revive(ctx context.Context) {
+// revive re-probes nodes marked down and brings responders back, returning
+// how many rejoined. Run calls it once up front, so a restarted worker
+// rejoins on the next job; StartReprobe calls it in the background, so an
+// idle cluster notices the revival too. A node marked down is treated as a
+// transient blip until proven otherwise — it stays in the probe set
+// forever, never permanently evicted.
+func (c *Coordinator) revive(ctx context.Context) int {
 	c.mu.Lock()
 	var downed []string
 	for id, d := range c.down {
@@ -160,13 +165,58 @@ func (c *Coordinator) revive(ctx context.Context) {
 	}
 	c.mu.Unlock()
 	sort.Strings(downed)
+	revived := 0
 	for _, id := range downed {
 		if b := c.backend(id); b != nil && b.Health(ctx) == nil {
 			c.mu.Lock()
 			delete(c.down, id)
 			c.mu.Unlock()
+			revived++
+			cWorkersRevived.Inc()
 		}
 	}
+	return revived
+}
+
+// downCount returns the number of nodes currently marked down.
+func (c *Coordinator) downCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, d := range c.down {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// StartReprobe launches a background loop that re-probes downed workers on
+// a jittered backoff cadence, so a cluster with no job traffic still
+// notices a revived worker. The delay follows b (resilience.Backoff
+// defaults apply): it grows while the same outage persists and resets to
+// the base whenever a probe revives something — or when nothing is down,
+// keeping the idle loop cheap (revive with an empty down set does no I/O).
+// The loop exits when ctx terminates; it returns immediately.
+func (c *Coordinator) StartReprobe(ctx context.Context, b resilience.Backoff) {
+	go func() {
+		stream := rng.New(b.Seed)
+		retry := 1
+		for {
+			t := time.NewTimer(b.Delay(retry, stream))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			if c.revive(ctx) > 0 || c.downCount() == 0 {
+				retry = 1
+			} else if retry < 16 {
+				retry++
+			}
+		}
+	}()
 }
 
 // reroutable reports whether moving the shard to another node can help:

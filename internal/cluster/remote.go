@@ -85,6 +85,16 @@ func (b *RemoteBackend) redial() {
 // UnreachableError for exhausted transport failures, a re-classified
 // *WorkerError for job-level failures the worker reported.
 func (b *RemoteBackend) do(ctx context.Context, method, url string, body []byte, contentType string) (status int, respBody []byte, err error) {
+	return b.doOpts(ctx, method, url, body, contentType, false)
+}
+
+// doOpts is do with the store-op flag: during a store round-trip a 5xx
+// other than a load shed (503) is the footprint of a worker restarting
+// mid-request — its listener answers before the store is wired up — so it
+// re-classifies as UnreachableError (transient) rather than a job-level
+// *WorkerError, letting the retry loop and the coordinator's re-probe heal
+// the blip instead of failing the publish permanently.
+func (b *RemoteBackend) doOpts(ctx context.Context, method, url string, body []byte, contentType string, storeOp bool) (status int, respBody []byte, err error) {
 	attempt := func() error {
 		var rdr io.Reader
 		if body != nil {
@@ -110,7 +120,11 @@ func (b *RemoteBackend) do(ctx context.Context, method, url string, body []byte,
 		}
 		status, respBody = resp.StatusCode, data
 		if resp.StatusCode >= 400 {
-			return b.classify(resp.StatusCode, data)
+			cerr := b.classify(resp.StatusCode, data)
+			if storeOp && resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable {
+				return &UnreachableError{Node: b.id, Err: cerr}
+			}
+			return cerr
 		}
 		return nil
 	}
@@ -253,7 +267,7 @@ func (b *RemoteBackend) Health(ctx context.Context) error {
 // wrapping engine.ErrCacheMiss so remote and local misses classify alike.
 func (b *RemoteBackend) StoreGet(ctx context.Context, key string) ([]byte, error) {
 	b.storeGets.Add(1)
-	status, body, err := b.do(ctx, http.MethodGet, b.base+"/v1/store/"+key, nil, "")
+	status, body, err := b.doOpts(ctx, http.MethodGet, b.base+"/v1/store/"+key, nil, "", true)
 	if err != nil {
 		if status == http.StatusNotFound {
 			return nil, fmt.Errorf("cluster: worker %s: %w", b.id, engine.ErrCacheMiss)
@@ -264,10 +278,13 @@ func (b *RemoteBackend) StoreGet(ctx context.Context, key string) ([]byte, error
 	return body, nil
 }
 
-// StorePut implements Backend over PUT /v1/store/{key}.
+// StorePut implements Backend over PUT /v1/store/{key}. A worker
+// restarting mid-put surfaces as a transient blip (retried, then
+// UnreachableError), never a permanent job-level failure — the payload is
+// content-addressed, so re-publishing it later is always safe.
 func (b *RemoteBackend) StorePut(ctx context.Context, key string, data []byte) error {
 	b.storePuts.Add(1)
-	_, _, err := b.do(ctx, http.MethodPut, b.base+"/v1/store/"+key, data, "application/octet-stream")
+	_, _, err := b.doOpts(ctx, http.MethodPut, b.base+"/v1/store/"+key, data, "application/octet-stream", true)
 	return err
 }
 

@@ -1,0 +1,156 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Journal record types, mirroring the engine job lifecycle. A job appears
+// as accepted → running → done|failed; any prefix of that sequence is a
+// valid journal state (the process can die between any two appends).
+const (
+	RecAccepted = "accepted"
+	RecRunning  = "running"
+	RecDone     = "done"
+	RecFailed   = "failed"
+)
+
+// Record is one JSONL line of the write-ahead job journal. Accepted
+// records carry the full job spec so a replay can re-enqueue the job; done
+// records carry only the job fingerprint — the result itself lives in the
+// content-addressed store under that key (never duplicated into the
+// journal); failed records carry the error and its resilience class.
+type Record struct {
+	T           string      `json:"t"`
+	ID          string      `json:"id"`
+	Kind        string      `json:"kind,omitempty"`
+	Fingerprint string      `json:"fp,omitempty"`
+	Job         *engine.Job `json:"job,omitempty"`
+	Error       string      `json:"error,omitempty"`
+	Class       string      `json:"class,omitempty"`
+	TS          time.Time   `json:"ts"`
+}
+
+// Journal is an append-only JSONL write-ahead log of async job lifecycles.
+// Appends are serialized and (by default) fsynced, so a record returned
+// from Append survives a SIGKILL issued immediately after.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	noFsync bool
+	killed  atomic.Bool
+	appends atomic.Int64
+}
+
+// OpenJournal opens (creating if needed) the journal at path for
+// appending. Existing records are left in place — read them with
+// ReadJournal before opening, or let Manager.Replay do both.
+func OpenJournal(path string, noFsync bool) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open journal: %w", err)
+	}
+	return &Journal{f: f, path: path, noFsync: noFsync}, nil
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Appended returns the number of records appended by this process.
+func (j *Journal) Appended() int64 { return j.appends.Load() }
+
+// Append writes one record (stamping TS if unset) and syncs it per the
+// fsync policy. Append errors are returned for accounting but must not
+// fail the job that triggered them: the journal is a recovery aid, and a
+// full disk should degrade durability, not availability.
+func (j *Journal) Append(rec Record) error {
+	if j == nil || j.killed.Load() {
+		return nil
+	}
+	if rec.TS.IsZero() {
+		rec.TS = time.Now()
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("durable: journal append: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.killed.Load() {
+		return nil
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("durable: journal append: %w", err)
+	}
+	if !j.noFsync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("durable: journal append: %w", err)
+		}
+	}
+	j.appends.Add(1)
+	cJournalAppends.Inc()
+	return nil
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Kill simulates a SIGKILL for crash tests: every subsequent append is
+// silently dropped, exactly as if the process had died before issuing it.
+// The already-written prefix stays on disk for replay.
+func (j *Journal) Kill() {
+	if j == nil {
+		return
+	}
+	j.killed.Store(true)
+}
+
+// ReadJournal parses the journal at path, tolerating a torn tail: a final
+// line without a newline or with unparsable JSON — the footprint of a
+// crash mid-append — is skipped and counted, not fatal. Unparsable lines
+// elsewhere (disk corruption) are likewise skipped so one bad record never
+// blocks recovery of the rest. A missing file reads as an empty journal.
+func ReadJournal(path string) (recs []Record, torn int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("durable: read journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil || rec.T == "" || rec.ID == "" {
+			torn++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if serr := sc.Err(); serr != nil {
+		return recs, torn, fmt.Errorf("durable: read journal: %w", serr)
+	}
+	return recs, torn, nil
+}

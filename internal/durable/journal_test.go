@@ -1,0 +1,137 @@
+package durable_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/engine"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := durable.OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := engine.Job{Kind: engine.KindCheck, Check: &engine.CheckSpec{
+		Left: "coin:fair:x", Right: "coin:fair:x", Envs: []string{"coin:env:x"}, Eps: 0.5, Q1: 2,
+	}}
+	appends := []durable.Record{
+		{T: durable.RecAccepted, ID: "j0001", Kind: "check", Fingerprint: job.Fingerprint(), Job: &job},
+		{T: durable.RecRunning, ID: "j0001"},
+		{T: durable.RecDone, ID: "j0001", Kind: "check", Fingerprint: job.Fingerprint()},
+		{T: durable.RecFailed, ID: "j0002", Error: "boom", Class: "panic"},
+	}
+	for _, rec := range appends {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, torn, err := durable.ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 0 {
+		t.Fatalf("torn = %d on a clean journal", torn)
+	}
+	if len(recs) != len(appends) {
+		t.Fatalf("read %d records, wrote %d", len(recs), len(appends))
+	}
+	for i, want := range appends {
+		got := recs[i]
+		if got.T != want.T || got.ID != want.ID || got.Fingerprint != want.Fingerprint ||
+			got.Error != want.Error || got.Class != want.Class {
+			t.Errorf("record %d = %+v, want %+v", i, got, want)
+		}
+		if got.TS.IsZero() {
+			t.Errorf("record %d missing timestamp", i)
+		}
+	}
+	// The accepted record round-trips the full job spec.
+	if recs[0].Job == nil || recs[0].Job.Fingerprint() != job.Fingerprint() {
+		t.Fatalf("accepted record lost the job spec: %+v", recs[0].Job)
+	}
+
+	// Reopen appends after the existing tail.
+	j2, err := durable.OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(durable.Record{T: durable.RecRunning, ID: "j0002"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	recs, _, err = durable.ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(appends)+1 {
+		t.Fatalf("after reopen-append: %d records, want %d", len(recs), len(appends)+1)
+	}
+}
+
+// TestJournalTornTail pins crash tolerance: a half-written final line (the
+// footprint of dying mid-append) is skipped and counted, never fatal, and a
+// missing journal reads as empty.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := durable.OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(durable.Record{T: durable.RecAccepted, ID: "j0001"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"t":"done","id":"j00`)
+	f.Close()
+
+	recs, torn, err := durable.ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "j0001" {
+		t.Fatalf("recs = %+v, want the one intact record", recs)
+	}
+	if torn != 1 {
+		t.Fatalf("torn = %d, want 1", torn)
+	}
+
+	if recs, torn, err := durable.ReadJournal(filepath.Join(t.TempDir(), "absent.jsonl")); err != nil || len(recs) != 0 || torn != 0 {
+		t.Fatalf("missing journal = (%v, %d, %v), want empty", recs, torn, err)
+	}
+}
+
+// TestJournalKillDropsAppends pins the crash-test hook: after Kill, appends
+// vanish (as if the process died) and the on-disk prefix is intact.
+func TestJournalKillDropsAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := durable.OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(durable.Record{T: durable.RecAccepted, ID: "j0001"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Kill()
+	if err := j.Append(durable.Record{T: durable.RecDone, ID: "j0001"}); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := durable.ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].T != durable.RecAccepted {
+		t.Fatalf("post-kill journal = %+v, want only the pre-kill record", recs)
+	}
+}

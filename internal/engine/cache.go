@@ -68,6 +68,7 @@ type Cache struct {
 	fpLimit int
 	fpMu    sync.Mutex
 	fps     map[psioa.PSIOA]string
+	raw     RawBacking // optional disk tier under the raw namespace
 }
 
 // cacheShard is one mutex-striped LRU unit. Keys map to shards by fnv-1a
@@ -288,6 +289,25 @@ var ErrCacheMiss = errors.New("engine: cache miss")
 // start with the printable byte 'r', typed memo keys with a control byte.
 const rawPrefix = "raw|"
 
+// RawBacking is a second, slower tier under the raw namespace — typically
+// the disk store in internal/durable. GetRaw consults it on memory misses
+// and PutRaw writes through to it. Load returns the stored bytes or an
+// error (ErrCacheMiss-compatible for absence); Save persists them. Both
+// must be safe for concurrent use.
+type RawBacking interface {
+	Load(key string) ([]byte, error)
+	Save(key string, data []byte) error
+}
+
+// SetRawBacking installs a backing tier under the raw namespace. Call
+// before sharing the cache; a nil cache or nil backing is a no-op/removal.
+func (c *Cache) SetRawBacking(b RawBacking) {
+	if c == nil {
+		return
+	}
+	c.raw = b
+}
+
 // Typed memo keys are fixed-width: one kind byte plus the 16-byte fnv-1a
 // 128 hash of the key parts. Seventeen bytes regardless of fingerprint,
 // scheduler-name or insight-ID length, so shard routing and LRU map probes
@@ -324,24 +344,38 @@ func (c *Cache) GetRaw(key string) ([]byte, error) {
 		return nil, ErrCacheMiss
 	}
 	v, ok := c.Get(rawPrefix + key)
-	if !ok {
-		return nil, ErrCacheMiss
+	if ok {
+		b, ok := v.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("engine: raw store entry %q holds %T: %w", key, v, ErrCacheMiss)
+		}
+		return b, nil
 	}
-	b, ok := v.([]byte)
-	if !ok {
-		return nil, fmt.Errorf("engine: raw store entry %q holds %T: %w", key, v, ErrCacheMiss)
+	if c.raw != nil {
+		// Memory miss: fall through to the backing tier and, on success,
+		// promote the entry so the next lookup is a memory hit.
+		b, err := c.raw.Load(key)
+		if err == nil {
+			c.Put(rawPrefix+key, append([]byte(nil), b...))
+			return b, nil
+		}
 	}
-	return b, nil
+	return nil, ErrCacheMiss
 }
 
-// PutRaw stores canonical bytes under key (see GetRaw). The bytes are
-// copied, so callers may reuse their buffer; entries round-trip verbatim.
-// A nil cache drops the entry.
+// PutRaw stores canonical bytes under key (see GetRaw), writing through to
+// the backing tier when one is installed (backing failures degrade
+// durability, not availability — the memory entry is kept either way). The
+// bytes are copied, so callers may reuse their buffer; entries round-trip
+// verbatim. A nil cache drops the entry.
 func (c *Cache) PutRaw(key string, data []byte) {
 	if c == nil {
 		return
 	}
 	c.Put(rawPrefix+key, append([]byte(nil), data...))
+	if c.raw != nil {
+		_ = c.raw.Save(key, data)
+	}
 }
 
 // Fingerprint returns the canonical fingerprint of a, memoized by identity

@@ -1,0 +1,118 @@
+package engine_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// fakeBacking is an in-memory engine.RawBacking with traffic counters and a
+// scriptable failure mode.
+type fakeBacking struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	loads   int
+	saves   int
+	failing bool
+}
+
+func newFakeBacking() *fakeBacking {
+	return &fakeBacking{entries: make(map[string][]byte)}
+}
+
+func (f *fakeBacking) Load(key string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.loads++
+	if f.failing {
+		return nil, errors.New("disk on fire")
+	}
+	data, ok := f.entries[key]
+	if !ok {
+		return nil, fmt.Errorf("fake: %q not found", key)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (f *fakeBacking) Save(key string, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.saves++
+	if f.failing {
+		return errors.New("disk on fire")
+	}
+	f.entries[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// TestRawBackingWriteThroughAndFallback pins the two-tier raw store: PutRaw
+// writes through to the backing, and a memory miss falls through to it —
+// promoting the entry so the next lookup is a memory hit.
+func TestRawBackingWriteThroughAndFallback(t *testing.T) {
+	fb := newFakeBacking()
+	c := engine.NewCache(16)
+	c.SetRawBacking(fb)
+
+	data := []byte(`{"kind":"check"}`)
+	c.PutRaw("job-0001", data)
+	if fb.saves != 1 {
+		t.Fatalf("saves = %d after PutRaw, want 1 (write-through)", fb.saves)
+	}
+
+	// A fresh cache over the same backing — the restart scenario: memory
+	// cold, disk warm.
+	c2 := engine.NewCache(16)
+	c2.SetRawBacking(fb)
+	got, err := c2.GetRaw("job-0001")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("fallback GetRaw = %q, %v", got, err)
+	}
+	if fb.loads != 1 {
+		t.Fatalf("loads = %d, want 1", fb.loads)
+	}
+	// Promoted: the second lookup is served from memory, no backing I/O.
+	if _, err := c2.GetRaw("job-0001"); err != nil {
+		t.Fatal(err)
+	}
+	if fb.loads != 1 {
+		t.Fatalf("loads = %d after promoted hit, want still 1", fb.loads)
+	}
+}
+
+// TestRawBackingMissAndFailure pins degradation: a backing miss is a plain
+// cache miss, and a failing backing degrades durability, not availability —
+// PutRaw still serves from memory, GetRaw still classifies ErrCacheMiss.
+func TestRawBackingMissAndFailure(t *testing.T) {
+	fb := newFakeBacking()
+	c := engine.NewCache(16)
+	c.SetRawBacking(fb)
+	if _, err := c.GetRaw("absent"); !errors.Is(err, engine.ErrCacheMiss) {
+		t.Fatalf("backing miss = %v, want ErrCacheMiss", err)
+	}
+
+	fb.failing = true
+	c.PutRaw("k", []byte("v"))
+	got, err := c.GetRaw("k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("memory tier lost entry when backing failed: %q, %v", got, err)
+	}
+	if _, err := c.GetRaw("other"); !errors.Is(err, engine.ErrCacheMiss) {
+		t.Fatalf("failing backing = %v, want ErrCacheMiss", err)
+	}
+}
+
+// TestRawBackingNilSafe pins the no-backing and nil-cache contracts.
+func TestRawBackingNilSafe(t *testing.T) {
+	var c *engine.Cache
+	c.SetRawBacking(newFakeBacking()) // must not panic
+	c2 := engine.NewCache(16)
+	c2.SetRawBacking(nil)
+	c2.PutRaw("k", []byte("v"))
+	if got, err := c2.GetRaw("k"); err != nil || string(got) != "v" {
+		t.Fatalf("nil backing round-trip = %q, %v", got, err)
+	}
+}

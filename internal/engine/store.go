@@ -33,17 +33,37 @@ var (
 // JobRecord is the stored state of a submitted job. Records returned by the
 // store are copies; mutating them does not affect the store.
 type JobRecord struct {
-	ID        string    `json:"id"`
-	Kind      string    `json:"kind"`
-	Status    string    `json:"status"`
-	Submitted time.Time `json:"submitted"`
-	Started   time.Time `json:"started,omitempty"`
-	Finished  time.Time `json:"finished,omitempty"`
-	Result    *Result   `json:"result,omitempty"`
-	Err       string    `json:"error,omitempty"`
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Fingerprint is the job's canonical workload identity (Job.Fingerprint)
+	// — the key its result is content-addressed under in the cluster and
+	// durable stores.
+	Fingerprint string    `json:"fingerprint,omitempty"`
+	Status      string    `json:"status"`
+	Submitted   time.Time `json:"submitted"`
+	Started     time.Time `json:"started,omitempty"`
+	Finished    time.Time `json:"finished,omitempty"`
+	Result      *Result   `json:"result,omitempty"`
+	Err         string    `json:"error,omitempty"`
 	// ErrClass is the resilience classification of Err ("deadline",
 	// "budget", "panic", ...), empty for unclassified errors.
 	ErrClass string `json:"error_class,omitempty"`
+}
+
+// JournalSink receives async job lifecycle transitions for write-ahead
+// journaling (see internal/durable). Implementations must be fast and must
+// not call back into the store; every method may be invoked concurrently
+// for different jobs. For one job the store guarantees the order
+// Accepted → Running → Finished.
+type JournalSink interface {
+	// Accepted is invoked after admission (queue and breaker checks
+	// passed), before the job starts, with the full job for later replay.
+	Accepted(rec *JobRecord, job Job)
+	// Running is invoked when the job leaves the queue and starts.
+	Running(id string)
+	// Finished is invoked with the terminal record (StatusDone with its
+	// result, or StatusFailed with the classified error).
+	Finished(rec *JobRecord)
 }
 
 // StoreConfig hardens a Store. The zero value preserves the permissive
@@ -59,6 +79,10 @@ type StoreConfig struct {
 	// Retry is the backoff policy for transient job failures; the zero
 	// value runs each job once.
 	Retry resilience.Backoff
+	// Journal, when non-nil, receives every async job lifecycle transition
+	// for write-ahead journaling, so a restarted daemon can replay
+	// unfinished work (see internal/durable).
+	Journal JournalSink
 }
 
 // Store tracks submitted jobs and runs them asynchronously on a Runner. It
@@ -117,23 +141,51 @@ func (st *Store) InFlight() int {
 // failures are retried per the store's backoff policy, and the breaker
 // observes every terminal outcome.
 func (st *Store) Submit(ctx context.Context, r *Runner, job Job) (*JobRecord, error) {
+	return st.submit(ctx, r, job, "", true)
+}
+
+// Resubmit is Submit for journal replay: the job re-enters the queue under
+// its original ID, bypassing the admission checks (it was already admitted
+// before the crash — shedding it now would lose accepted work) and without
+// re-journaling an accepted record (the original one is still in the
+// journal). The ID must not collide with a live record.
+func (st *Store) Resubmit(ctx context.Context, r *Runner, job Job, id string) (*JobRecord, error) {
+	if id == "" {
+		return nil, fmt.Errorf("engine: resubmit needs a job id")
+	}
+	return st.submit(ctx, r, job, id, false)
+}
+
+// submit implements Submit (fresh, auto-ID) and Resubmit (replayed,
+// pinned ID, admission checks and the accepted-journal append skipped).
+func (st *Store) submit(ctx context.Context, r *Runner, job Job, id string, fresh bool) (*JobRecord, error) {
 	fp := job.Fingerprint()
-	if err := st.cfg.Breaker.Allow(fp); err != nil {
-		cJobsRejected.Inc()
-		return nil, err
+	if fresh {
+		if err := st.cfg.Breaker.Allow(fp); err != nil {
+			cJobsRejected.Inc()
+			return nil, err
+		}
 	}
 	st.mu.Lock()
-	if st.cfg.QueueLimit > 0 && st.inflight >= st.cfg.QueueLimit {
+	if fresh && st.cfg.QueueLimit > 0 && st.inflight >= st.cfg.QueueLimit {
 		n := st.inflight
 		st.mu.Unlock()
 		cJobsShed.Inc()
 		return nil, fmt.Errorf("engine: %d jobs in flight: %w", n, resilience.ErrQueueFull)
 	}
+	if id == "" {
+		st.seq++
+		id = fmt.Sprintf("j%04d", st.seq)
+	} else {
+		if _, exists := st.jobs[id]; exists {
+			st.mu.Unlock()
+			return nil, fmt.Errorf("engine: job %q already exists", id)
+		}
+		st.bumpSeqLocked(id)
+	}
 	st.inflight++
 	gJobsInFlight.Set(int64(st.inflight))
-	st.seq++
-	id := fmt.Sprintf("j%04d", st.seq)
-	rec := &JobRecord{ID: id, Kind: job.Kind, Status: StatusQueued, Submitted: time.Now()}
+	rec := &JobRecord{ID: id, Kind: job.Kind, Fingerprint: fp, Status: StatusQueued, Submitted: time.Now()}
 	st.jobs[id] = rec
 	ch := make(chan struct{})
 	st.done[id] = ch
@@ -141,6 +193,12 @@ func (st *Store) Submit(ctx context.Context, r *Runner, job Job) (*JobRecord, er
 	st.wg.Add(1)
 	st.mu.Unlock()
 	cJobsSubmitted.Inc()
+	if fresh && st.cfg.Journal != nil {
+		// Write-ahead: the accepted record (with the full job spec) is on
+		// disk before the job can produce any other journal event — the
+		// worker goroutine has not been launched yet.
+		st.cfg.Journal.Accepted(queued, job)
+	}
 
 	go func() {
 		defer st.wg.Done()
@@ -149,6 +207,9 @@ func (st *Store) Submit(ctx context.Context, r *Runner, job Job) (*JobRecord, er
 			r.Status = StatusRunning
 			r.Started = time.Now()
 		})
+		if st.cfg.Journal != nil {
+			st.cfg.Journal.Running(id)
+		}
 		st.addRunning(1)
 		var res *Result
 		err := resilience.Retry(ctx, st.cfg.Retry, func() error {
@@ -172,7 +233,11 @@ func (st *Store) Submit(ctx context.Context, r *Runner, job Job) (*JobRecord, er
 		st.mu.Lock()
 		st.inflight--
 		gJobsInFlight.Set(int64(st.inflight))
+		terminal := st.jobs[id].clone()
 		st.mu.Unlock()
+		if st.cfg.Journal != nil {
+			st.cfg.Journal.Finished(terminal)
+		}
 		if err != nil {
 			cJobsErrored.Inc()
 		} else {
@@ -180,6 +245,39 @@ func (st *Store) Submit(ctx context.Context, r *Runner, job Job) (*JobRecord, er
 		}
 	}()
 	return queued, nil
+}
+
+// Restore inserts an already-terminal job record, as recovered from the
+// journal by replay. The record must be StatusDone or StatusFailed; its
+// Await channel is pre-closed so waiters return immediately. Restores do
+// not touch the queue bound, the breaker, or the journal.
+func (st *Store) Restore(rec *JobRecord) error {
+	if rec == nil || rec.ID == "" {
+		return fmt.Errorf("engine: restore needs a job record with an id")
+	}
+	if rec.Status != StatusDone && rec.Status != StatusFailed {
+		return fmt.Errorf("engine: restore requires a terminal record, got %q", rec.Status)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, exists := st.jobs[rec.ID]; exists {
+		return fmt.Errorf("engine: job %q already exists", rec.ID)
+	}
+	st.bumpSeqLocked(rec.ID)
+	st.jobs[rec.ID] = rec.clone()
+	ch := make(chan struct{})
+	close(ch)
+	st.done[rec.ID] = ch
+	return nil
+}
+
+// bumpSeqLocked raises the ID sequence past a restored/replayed job ID so
+// freshly submitted jobs never collide with recovered ones.
+func (st *Store) bumpSeqLocked(id string) {
+	var n int
+	if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > st.seq {
+		st.seq = n
+	}
 }
 
 // Drain blocks until every in-flight async job has reached a terminal
